@@ -1,0 +1,80 @@
+// Command benchgen emits the synthetic benchmark suite (or a custom
+// configuration) as Bookshelf bundles, one directory per design. The
+// generated designs stand in for the proprietary DAC-2012 superblue suite
+// (see DESIGN.md §2) and load back through any Bookshelf reader plus the
+// documented .fence/.hier extensions.
+//
+// Usage:
+//
+//	benchgen -out bench/                    # the full sb-a..sb-e suite
+//	benchgen -out bench/ -only sb-b
+//	benchgen -out bench/ -cells 3000 -seed 7 -name custom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bookshelf"
+	"repro/internal/gen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		outDir = flag.String("out", "bench", "output directory")
+		only   = flag.String("only", "", "generate a single suite member (sb-a..sb-e)")
+		name   = flag.String("name", "", "generate one custom design with this name")
+		cells  = flag.Int("cells", 5000, "custom design: standard cell count")
+		seed   = flag.Int64("seed", 1, "custom design: generator seed")
+		util   = flag.Float64("util", 0.7, "custom design: target utilization")
+		fences = flag.Int("fences", 4, "custom design: number of fence regions")
+	)
+	flag.Parse()
+
+	var cfgs []gen.Config
+	switch {
+	case *name != "":
+		cfgs = []gen.Config{{
+			Name: *name, Seed: *seed, NumStdCells: *cells,
+			NumFixedMacros: 4, NumMovableMacros: 2, NumModules: *fences + 2,
+			NumFences: *fences, NumTerminals: 32, TargetUtil: *util,
+		}}
+	case *only != "":
+		for _, c := range gen.Suite() {
+			if c.Name == *only {
+				cfgs = []gen.Config{c}
+			}
+		}
+		if len(cfgs) == 0 {
+			return fmt.Errorf("unknown suite member %q", *only)
+		}
+	default:
+		cfgs = gen.Suite()
+	}
+
+	for _, cfg := range cfgs {
+		d, err := gen.Generate(cfg)
+		if err != nil {
+			return fmt.Errorf("generate %s: %w", cfg.Name, err)
+		}
+		dir := filepath.Join(*outDir, cfg.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		aux, err := bookshelf.WriteDesign(d, dir)
+		if err != nil {
+			return fmt.Errorf("write %s: %w", cfg.Name, err)
+		}
+		fmt.Printf("%s: %s\n", aux, d.ComputeStats())
+	}
+	return nil
+}

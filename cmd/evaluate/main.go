@@ -1,0 +1,140 @@
+// Command evaluate scores an existing placement the way the DAC-2012
+// contest evaluator did: it loads a Bookshelf design (the .pl carries the
+// placement to score), globally routes it over the .route grid, and
+// reports HPWL, the ACE congestion profile, RC and scaled HPWL. It also
+// performs legality checks so a placement's violations are visible next to
+// its score.
+//
+// Usage:
+//
+//	evaluate -aux design.aux [-pl placed.pl] [-svg out.svg]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bookshelf"
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		auxPath = flag.String("aux", "", "Bookshelf .aux file")
+		plPath  = flag.String("pl", "", "alternative .pl with the placement to score")
+		svgPath = flag.String("svg", "", "write a congestion heatmap SVG here")
+		rrr     = flag.Int("rrr", 0, "rip-up and reroute rounds (0 = default)")
+	)
+	flag.Parse()
+	if *auxPath == "" {
+		return fmt.Errorf("need -aux (run with -h for usage)")
+	}
+	d, err := bookshelf.ReadDesign(*auxPath)
+	if err != nil {
+		return err
+	}
+	if *plPath != "" {
+		if err := applyPl(d, *plPath); err != nil {
+			return err
+		}
+	}
+	fmt.Println(d.ComputeStats())
+	fmt.Printf("legality: overlaps=%d fence-violations=%d out-of-die=%d\n",
+		d.OverlapViolations(), d.FenceViolations(), d.OutOfDie())
+
+	if d.Route == nil {
+		fmt.Printf("HPWL %.6g (no .route file: congestion scoring skipped)\n", d.HPWL())
+		return nil
+	}
+	m, err := route.EvaluateDesign(d, route.RouterOptions{MaxRRRIters: *rrr})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("score: %s\n", m)
+	fmt.Printf("ACE:  ")
+	for i, pct := range route.ACEPercentiles {
+		fmt.Printf(" %.1f%%=%.3f", pct, m.ACE[i])
+	}
+	fmt.Println()
+
+	if *svgPath != "" {
+		grid, err := route.NewGrid(d)
+		if err != nil {
+			return err
+		}
+		r := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: *rrr})
+		r.RouteDesign(d)
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.CongestionSVG(f, grid, 800); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+	return nil
+}
+
+// applyPl overrides cell positions from a standalone .pl file.
+func applyPl(d *db.Design, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || strings.EqualFold(fields[0], "UCLA") {
+			continue
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		ci := d.CellIndex(fields[0])
+		if ci < 0 {
+			continue
+		}
+		c := &d.Cells[ci]
+		c.Pos = geom.Point{X: x, Y: y}
+		rest := fields[3:]
+		if len(rest) > 0 && rest[0] == ":" {
+			rest = rest[1:]
+		}
+		if len(rest) > 0 {
+			if o, ok := db.ParseOrient(rest[0]); ok {
+				c.Orient = o
+			}
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d positions from %s\n", n, path)
+	return nil
+}

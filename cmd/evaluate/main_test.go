@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+func TestApplyPl(t *testing.T) {
+	b := db.NewBuilder("t", geom.NewRect(0, 0, 100, 100))
+	a := b.AddStdCell("a", 2, 2)
+	c := b.AddStdCell("c", 2, 2)
+	d := b.MustDesign()
+
+	pl := `UCLA pl 1.0
+# a comment
+a 10 20 : FS
+c 30.5 40 : N /FIXED
+ghost 1 2 : N
+`
+	path := filepath.Join(t.TempDir(), "p.pl")
+	if err := os.WriteFile(path, []byte(pl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyPl(d, path); err != nil {
+		t.Fatal(err)
+	}
+	if d.Cells[a].Pos != (geom.Point{X: 10, Y: 20}) || d.Cells[a].Orient != db.FS {
+		t.Errorf("cell a = %v/%v", d.Cells[a].Pos, d.Cells[a].Orient)
+	}
+	if d.Cells[c].Pos != (geom.Point{X: 30.5, Y: 40}) {
+		t.Errorf("cell c = %v", d.Cells[c].Pos)
+	}
+}
+
+func TestApplyPlMissingFile(t *testing.T) {
+	b := db.NewBuilder("t", geom.NewRect(0, 0, 10, 10))
+	b.AddStdCell("a", 1, 1)
+	d := b.MustDesign()
+	if err := applyPl(d, "/nonexistent/file.pl"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,233 @@
+// Command placer runs the routability-driven hierarchical mixed-size
+// placement flow on a Bookshelf design (or a generated synthetic one) and
+// reports contest-style metrics.
+//
+// Usage:
+//
+//	placer -aux design.aux [flags]            # place a Bookshelf design
+//	placer -synth sb-b [flags]                # place a built-in benchmark
+//
+// Flags select the placer variant (wirelength model, routability loop,
+// multilevel, fences) so every baseline of the paper's evaluation is
+// reachable from the command line. The placed design is written back as
+// <name>.out.pl (and optionally a full Bookshelf bundle and SVG plots).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bookshelf"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/legal"
+	"repro/internal/metrics"
+	"repro/internal/route"
+	"repro/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "placer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		auxPath   = flag.String("aux", "", "Bookshelf .aux file to place")
+		synth     = flag.String("synth", "", "built-in synthetic benchmark (sb-a..sb-e, congested) instead of -aux")
+		seed      = flag.Int64("seed", 0, "override the synthetic benchmark seed")
+		model     = flag.String("model", "wa", "wirelength model: wa or lse")
+		density   = flag.Float64("density", 0, "target density (0 = auto)")
+		noRoute   = flag.Bool("no-routability", false, "disable the congestion-driven inflation loop")
+		noML      = flag.Bool("no-multilevel", false, "disable multilevel clustering")
+		noFence   = flag.Bool("no-fences", false, "strip fence constraints (flat placement)")
+		noDP      = flag.Bool("no-dp", false, "skip detailed placement")
+		routeIter = flag.Int("routability-iters", 0, "routability loop iterations (0 = default)")
+		outDir    = flag.String("out", ".", "output directory")
+		writeAll  = flag.Bool("write-bookshelf", false, "write the full placed Bookshelf bundle")
+		svg       = flag.Bool("svg", false, "write placement and congestion SVGs")
+		rowFlip   = flag.Bool("row-flip", false, "flip alternate rows (FS) for power-rail sharing after placement")
+		evaluate  = flag.Bool("evaluate", true, "globally route and report RC / scaled HPWL")
+	)
+	flag.Parse()
+
+	d, err := loadDesign(*auxPath, *synth, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(d.ComputeStats())
+
+	cfg := core.Config{
+		Model:              *model,
+		TargetDensity:      *density,
+		DisableRoutability: *noRoute,
+		DisableMultilevel:  *noML,
+		DisableFences:      *noFence,
+		DisableDP:          *noDP,
+		RoutabilityIters:   *routeIter,
+	}
+	placer, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	res, err := placer.Place(d)
+	if err != nil {
+		return err
+	}
+	total := time.Since(t0)
+
+	fmt.Printf("placement: HPWL gp=%.4g legal=%.4g final=%.4g\n", res.HPWLGlobal, res.HPWLLegal, res.HPWLFinal)
+	fmt.Printf("quality:   overlaps=%d fence-violations=%d out-of-die=%d legal-fallbacks=%d\n",
+		res.Overlaps, res.FenceViolations, res.OutOfDie, res.Legal.Fallbacks)
+	fmt.Printf("effort:    levels=%d lambda-rounds=%d cg-iters=%d gp=%.2fs legal=%.2fs dp=%.2fs total=%.2fs\n",
+		res.Levels, res.LambdaRounds, res.CGIters,
+		res.GPTime.Seconds(), res.LegalTime.Seconds(), res.DPTime.Seconds(), total.Seconds())
+	if *rowFlip {
+		fmt.Printf("row-flip:  %d cells flipped to FS\n", legal.AlternateRowOrientations(d))
+	}
+
+	row := metrics.Row{
+		Design: d.Name, Variant: variantName(cfg),
+		HPWL: res.HPWLFinal, Overflow: res.Overflow,
+		Overlaps: res.Overlaps, FenceViol: res.FenceViolations,
+		GPTime: res.GPTime, TotalTime: total,
+	}
+	if *evaluate && d.Route != nil {
+		m, err := route.EvaluateDesign(d, route.RouterOptions{})
+		if err != nil {
+			return err
+		}
+		row.ScaledHPWL = m.ScaledHPWL
+		row.RC = m.RC
+		row.ACE = m.ACE
+		fmt.Printf("routed:    %s\n", m)
+	}
+	fmt.Println(metrics.Header())
+	fmt.Println(row)
+
+	// Outputs.
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	plPath := filepath.Join(*outDir, d.Name+".out.pl")
+	if err := writePl(plPath, d); err != nil {
+		return err
+	}
+	fmt.Println("wrote", plPath)
+	if *writeAll {
+		aux, err := bookshelf.WriteDesign(d, *outDir)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", aux)
+	}
+	if *svg {
+		if err := writeSVGs(*outDir, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadDesign(auxPath, synth string, seed int64) (*db.Design, error) {
+	switch {
+	case auxPath != "" && synth != "":
+		return nil, fmt.Errorf("use either -aux or -synth, not both")
+	case auxPath != "":
+		return bookshelf.ReadDesign(auxPath)
+	case synth != "":
+		for _, cfg := range gen.Suite() {
+			if cfg.Name == synth {
+				if seed != 0 {
+					cfg.Seed = seed
+				}
+				return gen.Generate(cfg)
+			}
+		}
+		if synth == "congested" {
+			s := int64(1)
+			if seed != 0 {
+				s = seed
+			}
+			return gen.Generate(gen.Congested(2000, s))
+		}
+		return nil, fmt.Errorf("unknown synthetic benchmark %q (try sb-a..sb-e or congested)", synth)
+	default:
+		return nil, fmt.Errorf("need -aux or -synth (run with -h for usage)")
+	}
+}
+
+func variantName(cfg core.Config) string {
+	name := cfg.Model
+	if name == "" {
+		name = "wa"
+	}
+	if cfg.DisableRoutability {
+		name += "-blind"
+	}
+	if cfg.DisableFences {
+		name += "-flat"
+	}
+	if cfg.DisableMultilevel {
+		name += "-1lvl"
+	}
+	return name
+}
+
+// writePl emits just the placement (.pl) file; the bookshelf writer would
+// emit the whole bundle, which -write-bookshelf covers separately.
+func writePl(path string, d *db.Design) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "UCLA pl 1.0\n\n")
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		fmt.Fprintf(f, "%s %g %g : %s", c.Name, c.Pos.X, c.Pos.Y, c.Orient)
+		if c.Fixed {
+			fmt.Fprintf(f, " /FIXED")
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}
+
+func writeSVGs(dir string, d *db.Design) error {
+	pf, err := os.Create(filepath.Join(dir, d.Name+".placement.svg"))
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	if err := viz.PlacementSVG(pf, d, 800); err != nil {
+		return err
+	}
+	fmt.Println("wrote", pf.Name())
+	if d.Route == nil {
+		return nil
+	}
+	grid, err := route.NewGrid(d)
+	if err != nil {
+		return err
+	}
+	r := route.NewRouter(grid, route.RouterOptions{})
+	r.RouteDesign(d)
+	cf, err := os.Create(filepath.Join(dir, d.Name+".congestion.svg"))
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := viz.CongestionSVG(cf, grid, 800); err != nil {
+		return err
+	}
+	fmt.Println("wrote", cf.Name())
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+func TestVariantName(t *testing.T) {
+	cases := []struct {
+		cfg  core.Config
+		want string
+	}{
+		{core.Config{}, "wa"},
+		{core.Config{Model: "lse"}, "lse"},
+		{core.Config{DisableRoutability: true}, "wa-blind"},
+		{core.Config{DisableRoutability: true, DisableFences: true}, "wa-blind-flat"},
+		{core.Config{Model: "lse", DisableMultilevel: true}, "lse-1lvl"},
+	}
+	for _, c := range cases {
+		if got := variantName(c.cfg); got != c.want {
+			t.Errorf("variantName(%+v) = %q, want %q", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestLoadDesignSynth(t *testing.T) {
+	d, err := loadDesign("", "sb-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "sb-a" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if _, err := loadDesign("", "nope", 0); err == nil {
+		t.Error("unknown synth accepted")
+	}
+	if _, err := loadDesign("", "", 0); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, err := loadDesign("x.aux", "sb-a", 0); err == nil {
+		t.Error("both inputs accepted")
+	}
+}
+
+func TestLoadDesignSeedOverride(t *testing.T) {
+	a, err := loadDesign("", "sb-a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadDesign("", "sb-a", 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Cells {
+		if a.Cells[i].Pos != b.Cells[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed override had no effect")
+	}
+}
+
+func TestWritePl(t *testing.T) {
+	b := db.NewBuilder("t", geom.NewRect(0, 0, 10, 10))
+	ci := b.AddStdCell("a", 2, 2)
+	fx := b.AddMacro("m", 3, 3, true)
+	d := b.MustDesign()
+	d.Cells[ci].Pos = geom.Point{X: 1.5, Y: 2}
+	d.Cells[fx].Pos = geom.Point{X: 5, Y: 5}
+	path := filepath.Join(t.TempDir(), "out.pl")
+	if err := writePl(path, d); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "a 1.5 2 : N") {
+		t.Errorf("movable cell line missing: %q", out)
+	}
+	if !strings.Contains(out, "m 5 5 : N /FIXED") {
+		t.Errorf("fixed macro line missing: %q", out)
+	}
+}

@@ -1,0 +1,102 @@
+// Mixed-size walkthrough: build a design by hand with the db.Builder —
+// standard cells around large movable macros — run the flow, and show how
+// macro orientation selection and macro-first legalization behave. This
+// example uses the public construction API directly instead of the
+// synthetic generator, which is what a downstream tool integrating the
+// placer would do.
+//
+//	go run ./examples/mixed_size
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+func main() {
+	b := db.NewBuilder("mixed", geom.NewRect(0, 0, 400, 400))
+	b.MakeRows(10, 1)
+
+	// Two movable macros with edge pins, one fixed RAM block.
+	ram := b.AddMacro("ram0", 120, 80, true)
+	b.SetCellPos(ram, geom.Point{X: 20, Y: 300})
+	m0 := b.AddMacro("mac0", 80, 60, false)
+	m1 := b.AddMacro("mac1", 60, 90, false)
+
+	// A ring of standard cells plus I/O pads.
+	rng := rand.New(rand.NewSource(3))
+	var cells []int
+	for i := 0; i < 800; i++ {
+		cells = append(cells, b.AddStdCell(fmt.Sprintf("c%d", i), float64(2+rng.Intn(10)), 10))
+	}
+	var pads []int
+	for i := 0; i < 16; i++ {
+		side := i % 4
+		t := float64(i/4)*100 + 50
+		var p geom.Point
+		switch side {
+		case 0:
+			p = geom.Point{X: 0, Y: t}
+		case 1:
+			p = geom.Point{X: 400, Y: t}
+		case 2:
+			p = geom.Point{X: t, Y: 0}
+		default:
+			p = geom.Point{X: t, Y: 400}
+		}
+		pads = append(pads, b.AddTerminal(fmt.Sprintf("pad%d", i), p))
+	}
+
+	// Local nets among neighbouring cells, macro nets with corner pins,
+	// and pad nets.
+	netID := 0
+	addNet := func(conns ...db.Conn) {
+		b.AddNet(fmt.Sprintf("n%d", netID), 1, conns...)
+		netID++
+	}
+	for i := 0; i+3 < len(cells); i += 2 {
+		addNet(b.CenterConn(cells[i]), b.CenterConn(cells[i+1]), b.CenterConn(cells[i+3]))
+	}
+	for i := 0; i < 60; i++ {
+		macro := m0
+		if i%2 == 1 {
+			macro = m1
+		}
+		// Pins on macro corners: orientation choice matters.
+		corner := geom.Point{X: 0, Y: 0}
+		if i%4 < 2 {
+			corner = geom.Point{X: 80, Y: 60}
+			if macro == m1 {
+				corner = geom.Point{X: 60, Y: 90}
+			}
+		}
+		addNet(db.Conn{Cell: macro, Offset: corner}, b.CenterConn(cells[rng.Intn(len(cells))]))
+	}
+	for i, pad := range pads {
+		addNet(db.Conn{Cell: pad}, b.CenterConn(cells[(i*37)%len(cells)]))
+	}
+	addNet(db.Conn{Cell: ram, Offset: geom.Point{X: 60, Y: 0}}, b.CenterConn(cells[0]), b.CenterConn(cells[1]))
+
+	design, err := b.Design()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(design.ComputeStats())
+
+	res, err := core.MustNew(core.Config{DisableRoutability: true}).Place(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final HPWL %.4g, overlaps %d, out-of-die %d\n", res.HPWLFinal, res.Overlaps, res.OutOfDie)
+	for _, name := range []string{"mac0", "mac1"} {
+		ci := design.CellIndex(name)
+		c := &design.Cells[ci]
+		fmt.Printf("%s: placed at (%g, %g), orientation %s, footprint %gx%g\n",
+			name, c.Pos.X, c.Pos.Y, c.Orient, c.W(), c.H())
+	}
+}

@@ -1,0 +1,378 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// sample builds a design exercising every feature the format carries:
+// std cells, a movable macro, a fixed macro, terminals, weighted nets,
+// rows, a routing grid with blockages, fences and hierarchy.
+func sample() *db.Design {
+	b := db.NewBuilder("samp", geom.NewRect(0, 0, 200, 100))
+	root := b.AddModule("top", db.NoModule, db.NoRegion)
+	f0 := b.AddRegion("fence_cpu", geom.NewRect(0, 0, 60, 40), geom.NewRect(80, 0, 120, 40))
+	cpu := b.AddModule("cpu", root, f0)
+
+	c0 := b.AddStdCell("c0", 4, 10)
+	c1 := b.AddStdCell("c1", 6, 10)
+	mm := b.AddMacro("mov_macro", 30, 30, false)
+	fm := b.AddMacro("fix_macro", 40, 40, true)
+	t0 := b.AddTerminal("pad0", geom.Point{X: 0, Y: 50})
+
+	b.AssignModule(c0, cpu)
+	b.AssignModule(c1, root)
+
+	b.AddNet("n0", 1, b.CenterConn(c0), b.CenterConn(c1), db.Conn{Cell: t0})
+	b.AddNet("n1", 2.5, db.Conn{Cell: mm, Offset: geom.Point{X: 1, Y: 2}}, b.CenterConn(c1), b.CenterConn(fm))
+	b.MakeRows(10, 1)
+	b.SetRoute(&db.RouteInfo{
+		GridX: 20, GridY: 10, Layers: 2,
+		VertCap: []float64{0, 20}, HorizCap: []float64{20, 0},
+		MinWidth: []float64{1, 1}, MinSpacing: []float64{1, 1}, ViaSpacing: []float64{0, 0},
+		Origin: geom.Point{X: 0, Y: 0}, TileW: 10, TileH: 10,
+		BlockagePorosity: 0.2,
+		Blockages:        []db.RouteBlockage{{Cell: fm, Layers: []int{0, 1}}},
+	})
+	d := b.MustDesign()
+	d.Cells[c0].Pos = geom.Point{X: 10, Y: 0}
+	d.Cells[c1].Pos = geom.Point{X: 30, Y: 10}
+	d.Cells[mm].Pos = geom.Point{X: 100, Y: 50}
+	d.Cells[mm].Orient = db.FN
+	d.Cells[fm].Pos = geom.Point{X: 150, Y: 0}
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sample()
+	dir := t.TempDir()
+	auxPath, err := WriteDesign(d, dir)
+	if err != nil {
+		t.Fatalf("WriteDesign: %v", err)
+	}
+	got, err := ReadDesign(auxPath)
+	if err != nil {
+		t.Fatalf("ReadDesign: %v", err)
+	}
+	if got.Name != "samp" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Cells) != len(d.Cells) || len(got.Nets) != len(d.Nets) || len(got.Pins) != len(d.Pins) {
+		t.Fatalf("sizes differ: cells %d/%d nets %d/%d pins %d/%d",
+			len(got.Cells), len(d.Cells), len(got.Nets), len(d.Nets), len(got.Pins), len(d.Pins))
+	}
+	for i := range d.Cells {
+		want, have := &d.Cells[i], &got.Cells[i]
+		if want.Name != have.Name || want.Kind != have.Kind || want.Fixed != have.Fixed {
+			t.Errorf("cell %d identity differs: want %+v have %+v", i, want, have)
+		}
+		if want.BaseW != have.BaseW || want.BaseH != have.BaseH {
+			t.Errorf("cell %d dims differ", i)
+		}
+		if want.Pos != have.Pos || want.Orient != have.Orient {
+			t.Errorf("cell %d placement differs: want %v/%v have %v/%v", i, want.Pos, want.Orient, have.Pos, have.Orient)
+		}
+		if want.Module != have.Module {
+			t.Errorf("cell %d module differs: want %d have %d", i, want.Module, have.Module)
+		}
+	}
+	for i := range d.Nets {
+		if d.Nets[i].Name != got.Nets[i].Name || d.Nets[i].Weight != got.Nets[i].Weight {
+			t.Errorf("net %d differs: want %+v have %+v", i, d.Nets[i], got.Nets[i])
+		}
+	}
+	// Pin offsets survive the center-relative conversion.
+	for i := range d.Pins {
+		dp, gp := d.Pins[i], got.Pins[i]
+		if dp.Cell != gp.Cell || dp.Net != gp.Net {
+			t.Errorf("pin %d wiring differs", i)
+		}
+		if math.Abs(dp.Offset.X-gp.Offset.X) > 1e-9 || math.Abs(dp.Offset.Y-gp.Offset.Y) > 1e-9 {
+			t.Errorf("pin %d offset differs: want %v have %v", i, dp.Offset, gp.Offset)
+		}
+	}
+	if len(got.Rows) != len(d.Rows) {
+		t.Errorf("rows differ: %d vs %d", len(got.Rows), len(d.Rows))
+	}
+	// HPWL must be identical on both databases.
+	if math.Abs(d.HPWL()-got.HPWL()) > 1e-6 {
+		t.Errorf("HPWL differs: %v vs %v", d.HPWL(), got.HPWL())
+	}
+	// Fences.
+	if len(got.Regions) != 1 || got.Regions[0].Name != "fence_cpu" || len(got.Regions[0].Rects) != 2 {
+		t.Fatalf("fence not preserved: %+v", got.Regions)
+	}
+	// Hierarchy: cell c0 inherits the cpu fence.
+	if rg := got.CellRegion(got.CellIndex("c0")); rg != 0 {
+		t.Errorf("CellRegion(c0) = %d", rg)
+	}
+	// Route info.
+	if got.Route == nil {
+		t.Fatal("route info lost")
+	}
+	if got.Route.GridX != 20 || got.Route.Layers != 2 || got.Route.TileW != 10 {
+		t.Errorf("route grid differs: %+v", got.Route)
+	}
+	if len(got.Route.Blockages) != 1 || got.Route.Blockages[0].Cell != got.CellIndex("fix_macro") {
+		t.Errorf("blockages differ: %+v", got.Route.Blockages)
+	}
+	if got.Route.BlockagePorosity != 0.2 {
+		t.Errorf("porosity = %v", got.Route.BlockagePorosity)
+	}
+	// Movable macro must be classified macro (taller than row height).
+	if got.Cells[got.CellIndex("mov_macro")].Kind != db.Macro {
+		t.Error("movable macro lost its kind")
+	}
+	if got.Cells[got.CellIndex("mov_macro")].Movable() != true {
+		t.Error("movable macro became fixed")
+	}
+}
+
+func TestParseAuxVariants(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+	}{
+		{"RowBasedPlacement : a.nodes a.nets a.wts a.pl a.scl", false},
+		{"a.nodes a.nets", false},
+		{"# comment\nRowBasedPlacement : a.nodes a.nets", false},
+		{"RowBasedPlacement : a.pl", true},
+		{"", true},
+	}
+	for _, c := range cases {
+		_, err := ParseAux(strings.NewReader(c.in), "t.aux")
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseAux(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestReaderRejectsCorruptNodes(t *testing.T) {
+	cases := []string{
+		"UCLA nodes 1.0\nc0 4",             // missing height
+		"UCLA nodes 1.0\nc0 x 2",           // bad number
+		"UCLA nodes 1.0\nc0 4 2\nc0 4 2",   // duplicate
+		"UCLA nodes 1.0\nc0 4 2 weirdattr", // unknown attribute
+		"UCLA nets 1.0\nNumNodes : 1",      // wrong header
+	}
+	for _, in := range cases {
+		r := &reader{design: &db.Design{}, cellIdx: map[string]int{}}
+		if err := r.readNodes(strings.NewReader(in), "t.nodes"); err == nil {
+			t.Errorf("readNodes(%q) accepted corrupt input", in)
+		}
+	}
+}
+
+func TestReaderRejectsCorruptNets(t *testing.T) {
+	base := "UCLA nodes 1.0\nc0 4 2\nc1 4 2\n"
+	r := &reader{design: &db.Design{}, cellIdx: map[string]int{}}
+	if err := r.readNodes(strings.NewReader(base), "t.nodes"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"UCLA nets 1.0\nNetDegree : 2 n0\nc0 B : 0 0",   // truncated
+		"UCLA nets 1.0\nNetDegree : 1 n0\nnope B : 0 0", // unknown node
+		"UCLA nets 1.0\njunk line",                      // no NetDegree
+	}
+	for _, in := range cases {
+		r2 := &reader{design: &db.Design{Cells: r.design.Cells}, cellIdx: r.cellIdx}
+		if err := r2.readNets(strings.NewReader(in), "t.nets"); err == nil {
+			t.Errorf("readNets(%q) accepted corrupt input", in)
+		}
+	}
+}
+
+func TestWriteCreatesAllFiles(t *testing.T) {
+	d := sample()
+	dir := t.TempDir()
+	if _, err := WriteDesign(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".aux", ".nodes", ".nets", ".wts", ".pl", ".scl", ".route", ".fence", ".hier"} {
+		if _, err := os.Stat(filepath.Join(dir, "samp"+ext)); err != nil {
+			t.Errorf("missing %s: %v", ext, err)
+		}
+	}
+}
+
+func TestMinimalDesignWithoutOptionalFiles(t *testing.T) {
+	b := db.NewBuilder("mini", geom.NewRect(0, 0, 20, 20))
+	a := b.AddStdCell("a", 2, 2)
+	c := b.AddStdCell("b", 2, 2)
+	b.AddNet("n", 1, b.CenterConn(a), b.CenterConn(c))
+	b.MakeRows(2, 1)
+	d := b.MustDesign()
+	dir := t.TempDir()
+	aux, err := WriteDesign(d, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Route != nil || len(got.Regions) != 0 || len(got.Modules) != 0 {
+		t.Error("optional structures materialized from nothing")
+	}
+	if got.Die.Empty() {
+		t.Error("die not derived from rows")
+	}
+}
+
+func TestDieDerivedFromRows(t *testing.T) {
+	d := sample()
+	dir := t.TempDir()
+	aux, err := WriteDesign(d, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows span the full die in sample().
+	if got.Die.W() != d.Die.W() || got.Die.H() != d.Die.H() {
+		t.Errorf("die = %v, want %v", got.Die, d.Die)
+	}
+}
+
+func TestReaderRejectsCorruptRoute(t *testing.T) {
+	base := "UCLA nodes 1.0\nc0 4 2\n"
+	mk := func() *reader {
+		r := &reader{design: &db.Design{}, cellIdx: map[string]int{}}
+		if err := r.readNodes(strings.NewReader(base), "t.nodes"); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := []string{
+		"route 1.0\nGrid : 2",                        // short grid
+		"route 1.0\nGrid : x 2 1",                    // bad int
+		"route 1.0\nTileSize : 10",                   // short tile
+		"route 1.0\nNumBlockageNodes : 1\n\tnope 1 1", // unknown node
+		"route 1.0\nNumBlockageNodes : 2\n\tc0 1 1",   // truncated list
+		"UCLA pl 1.0\nGrid : 2 2 1",                   // wrong header
+	}
+	for _, in := range cases {
+		if err := mk().readRoute(strings.NewReader(in), "t.route"); err == nil {
+			t.Errorf("readRoute(%q) accepted corrupt input", in)
+		}
+	}
+}
+
+func TestReaderRejectsCorruptFence(t *testing.T) {
+	cases := []string{
+		"UCLA fence 1.0\nweird line here x",              // malformed header line
+		"UCLA fence 1.0\nf0 NumRects : 1",                // truncated rect list
+		"UCLA fence 1.0\nf0 NumRects : 1\n\t1 2 3",       // short rect
+		"UCLA fence 1.0\nf0 NumRects : 1\n\t1 2 three 4", // bad float
+	}
+	for _, in := range cases {
+		r := &reader{design: &db.Design{}, cellIdx: map[string]int{}, fenceIdx: map[string]int{}}
+		if err := r.readFence(strings.NewReader(in), "t.fence"); err == nil {
+			t.Errorf("readFence(%q) accepted corrupt input", in)
+		}
+	}
+}
+
+func TestReaderRejectsCorruptHier(t *testing.T) {
+	base := "UCLA nodes 1.0\nc0 4 2\n"
+	cases := []string{
+		"UCLA hier 1.0\nModule m : parent 5 fence -\nNumCells : 0",  // forward parent
+		"UCLA hier 1.0\nModule m : parent -1 fence nofence\nNumCells : 0", // unknown fence
+		"UCLA hier 1.0\nModule m : parent -1 fence -\nNumCells : 1\n\tghost", // unknown cell
+		"UCLA hier 1.0\nModule m : parent -1 fence -",               // missing NumCells
+		"UCLA hier 1.0\nnot a module line",                          // malformed
+	}
+	for _, in := range cases {
+		r := &reader{design: &db.Design{}, cellIdx: map[string]int{}, fenceIdx: map[string]int{}}
+		if err := r.readNodes(strings.NewReader(base), "t.nodes"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.readHier(strings.NewReader(in), "t.hier"); err == nil {
+			t.Errorf("readHier(%q) accepted corrupt input", in)
+		}
+	}
+}
+
+func TestWtsIgnoresUnknownNets(t *testing.T) {
+	r := &reader{design: &db.Design{Nets: []db.Net{{Name: "n0", Weight: 1}}}, cellIdx: map[string]int{}}
+	in := "UCLA wts 1.0\nn0 2.5\nghost 9\n"
+	if err := r.readWts(strings.NewReader(in), "t.wts"); err != nil {
+		t.Fatal(err)
+	}
+	if r.design.Nets[0].Weight != 2.5 {
+		t.Errorf("weight = %v", r.design.Nets[0].Weight)
+	}
+}
+
+// TestGoldenDesign reads the hand-written Bookshelf bundle in testdata and
+// checks the parsed structure in detail: center-relative pin offsets,
+// fixed/NI terminal classification, row parsing, routing blockages (with
+// 1-based layer conversion), fences and hierarchy inheritance.
+func TestGoldenDesign(t *testing.T) {
+	d, err := ReadDesign("testdata/golden/golden.aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 5 || len(d.Nets) != 2 || len(d.Pins) != 5 || len(d.Rows) != 5 {
+		t.Fatalf("sizes: %d cells %d nets %d pins %d rows", len(d.Cells), len(d.Nets), len(d.Pins), len(d.Rows))
+	}
+	// Kinds: macro1 is a fixed macro, pad_in a zero-area terminal.
+	m := &d.Cells[d.CellIndex("macro1")]
+	if m.Kind != db.Macro || !m.Fixed {
+		t.Errorf("macro1 kind=%v fixed=%v", m.Kind, m.Fixed)
+	}
+	p := &d.Cells[d.CellIndex("pad_in")]
+	if p.Kind != db.Terminal || !p.Fixed {
+		t.Errorf("pad_in kind=%v fixed=%v", p.Kind, p.Fixed)
+	}
+	// cellB has orientation FS from the .pl.
+	bb := &d.Cells[d.CellIndex("cellB")]
+	if bb.Orient != db.FS {
+		t.Errorf("cellB orient = %v", bb.Orient)
+	}
+	// Net weight from .wts.
+	if d.Nets[0].Weight != 2 {
+		t.Errorf("n_clk weight = %v", d.Nets[0].Weight)
+	}
+	// Pin position of cellA's clk pin: ll (0,0) + center (4,6) + (0,2).
+	pos := d.PinPos(d.Nets[0].Pins[0])
+	if pos.X != 4 || pos.Y != 8 {
+		t.Errorf("cellA clk pin at %v", pos)
+	}
+	// Route info: blockage layers are 1-based in the file, 0-based here.
+	if d.Route == nil || len(d.Route.Blockages) != 1 {
+		t.Fatal("route blockages missing")
+	}
+	bl := d.Route.Blockages[0]
+	if bl.Cell != d.CellIndex("macro1") || len(bl.Layers) != 2 || bl.Layers[0] != 0 || bl.Layers[1] != 1 {
+		t.Errorf("blockage = %+v", bl)
+	}
+	if len(d.Route.NiTerminals) != 1 || d.Route.NiTerminals[0] != d.CellIndex("pad_in") {
+		t.Errorf("ni terminals = %v", d.Route.NiTerminals)
+	}
+	// Hierarchy: cellA inherits the datapath fence through module dp.
+	if rg := d.CellRegion(d.CellIndex("cellA")); rg != 0 {
+		t.Errorf("cellA region = %d", rg)
+	}
+	if rg := d.CellRegion(d.CellIndex("cellC")); rg != db.NoRegion {
+		t.Errorf("cellC region = %d", rg)
+	}
+	if got := d.ModulePath(1); got != "/top/dp" {
+		t.Errorf("module path = %q", got)
+	}
+	// Die derived from rows: 120 wide, 60 tall.
+	if d.Die.W() != 120 || d.Die.H() != 60 {
+		t.Errorf("die = %v", d.Die)
+	}
+}

@@ -1,0 +1,6 @@
+UCLA pl 1.0
+cellA    0    0 : N
+cellB   20   12 : FS
+macro1  60   24 : N /FIXED
+pad_in   0   60 : N /FIXED_NI
+cellC   40    0 : N

@@ -1,0 +1,220 @@
+// Package core implements the routability-driven analytical placer for
+// hierarchical mixed-size designs that this repository reproduces
+// (NTUplace4h, DAC 2013). The flow is:
+//
+//  1. hierarchy-aware multilevel clustering (internal/cluster);
+//  2. per-level global placement minimizing WL + λ·density by nonlinear
+//     conjugate gradient (internal/wl, internal/density, internal/nlopt),
+//     with fence pull forces for hierarchical region constraints;
+//  3. a routability loop — routed-congestion estimation, targeted cell
+//     inflation, congested-net weighting, frozen-weight respreading, all
+//     gated by a router-scored best snapshot (internal/route);
+//  4. discrete macro orientation selection;
+//  5. macro legalization, fence-aware Abacus standard-cell legalization
+//     (internal/legal) and HPWL-greedy detailed placement (internal/dp).
+//
+// Baselines for the experiment tables are configurations of the same
+// engine: LSE wirelength model, routability off, multilevel off, fences
+// stripped.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/legal"
+)
+
+// Config selects the placer variant. The zero value is the full
+// NTUplace4h-style flow with the WA wirelength model.
+type Config struct {
+	// Model picks the smooth wirelength model: "wa" (default) or "lse".
+	Model string
+
+	// TargetDensity is the bin target density in (0,1]; 0 derives it from
+	// design utilization with a 15% margin.
+	TargetDensity float64
+
+	// GammaFactor scales the wirelength smoothing parameter relative to
+	// the bin dimension (default 0.8).
+	GammaFactor float64
+
+	// GPIterPerRound is the CG iteration budget per λ round (default 30).
+	GPIterPerRound int
+	// MaxLambdaRounds bounds the density-weight escalation (default 24).
+	MaxLambdaRounds int
+	// OverflowStop ends spreading when total overflow falls below this
+	// fraction of movable area (default 0.10).
+	OverflowStop float64
+
+	// DisableQuadInit skips the quadratic star-model warm start that seeds
+	// global placement (ablation; mainly useful to study cold starts).
+	DisableQuadInit bool
+	// DisableMultilevel solves flat (single-level) global placement.
+	DisableMultilevel bool
+	// DisableRoutability turns the congestion-driven inflation loop off.
+	DisableRoutability bool
+	// DisableFences strips fence regions from the design before placing:
+	// the hierarchical constraints are ignored entirely (the "flat"
+	// baseline of experiment T4).
+	DisableFences bool
+	// DisableMacroOrient skips the discrete macro-orientation pass.
+	DisableMacroOrient bool
+	// DisableDP skips detailed placement.
+	DisableDP bool
+
+	// RoutabilityIters is the number of estimate→inflate→respread rounds
+	// (default 2).
+	RoutabilityIters int
+	// InflateMax caps the per-cell area inflation ratio (default 2.2).
+	InflateMax float64
+	// InflateExp shapes the congestion→inflation curve: ratio =
+	// min(InflateMax, congestion^InflateExp) (default 1.6).
+	InflateExp float64
+	// CongestionThreshold is the tile utilization above which cells
+	// inflate (default 0.8).
+	CongestionThreshold float64
+
+	// DPPasses forwards to detailed placement (default 2).
+	DPPasses int
+
+	// EnableChannelDerate statically halves placement capacity in narrow
+	// channels between macros. It is opt-in: it pays off when packing at
+	// tight target densities (it keeps cells out of nearly-unroutable
+	// slots), but under the default generous density target the dynamic
+	// routability loop subsumes it and the lost capacity just lengthens
+	// wires (ablation T11).
+	EnableChannelDerate bool
+	// ChannelMinSpan is the channel width below which capacity is derated,
+	// in row heights of the design (default 4).
+	ChannelMinSpan float64
+	// ChannelDerate is the capacity multiplier applied to narrow-channel
+	// bins (default 0.5).
+	ChannelDerate float64
+
+	// ClusterMinObjs stops coarsening below this object count
+	// (default 400).
+	ClusterMinObjs int
+
+	// Trace, when non-nil, records the level-0 convergence curve
+	// (experiment F7).
+	Trace *Trace
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == "" {
+		c.Model = "wa"
+	}
+	if c.GammaFactor <= 0 {
+		c.GammaFactor = 0.8
+	}
+	if c.GPIterPerRound <= 0 {
+		c.GPIterPerRound = 30
+	}
+	if c.MaxLambdaRounds <= 0 {
+		c.MaxLambdaRounds = 24
+	}
+	if c.OverflowStop <= 0 {
+		c.OverflowStop = 0.10
+	}
+	if c.RoutabilityIters <= 0 {
+		c.RoutabilityIters = 2
+	}
+	if c.InflateMax <= 1 {
+		c.InflateMax = 2.2
+	}
+	if c.InflateExp <= 0 {
+		c.InflateExp = 1.6
+	}
+	if c.CongestionThreshold <= 0 {
+		c.CongestionThreshold = 0.8
+	}
+	if c.DPPasses <= 0 {
+		c.DPPasses = 2
+	}
+	if c.ClusterMinObjs <= 0 {
+		c.ClusterMinObjs = 400
+	}
+	if c.ChannelMinSpan <= 0 {
+		c.ChannelMinSpan = 4
+	}
+	if c.ChannelDerate <= 0 {
+		c.ChannelDerate = 0.5
+	}
+	return c
+}
+
+// Validate rejects configurations the engine cannot honor.
+func (c Config) Validate() error {
+	switch c.Model {
+	case "", "wa", "lse":
+	default:
+		return fmt.Errorf("core: unknown wirelength model %q", c.Model)
+	}
+	if c.TargetDensity < 0 || c.TargetDensity > 1 {
+		return fmt.Errorf("core: target density %v outside [0,1]", c.TargetDensity)
+	}
+	return nil
+}
+
+// CongStat records one routability iteration for experiment F6/T10.
+type CongStat struct {
+	// ACE is the routed congestion profile at route.ACEPercentiles (from
+	// the loop's reduced-budget router).
+	ACE []float64
+	// Inflated is the number of cells whose inflation ratio grew this
+	// iteration.
+	Inflated int
+	// MaxTileCongestion is the worst estimated tile utilization.
+	MaxTileCongestion float64
+}
+
+// Result reports a full placement run.
+type Result struct {
+	// HPWL after global placement, after legalization, and final.
+	HPWLGlobal float64
+	HPWLLegal  float64
+	HPWLFinal  float64
+
+	// Overflow is the density overflow ratio at the end of GP.
+	Overflow float64
+
+	// Levels is the multilevel depth used; LambdaRounds and CGIters are
+	// summed over levels.
+	Levels       int
+	LambdaRounds int
+	CGIters      int
+
+	// Cong has one entry per routability iteration.
+	Cong []CongStat
+
+	Legal legal.CellResult
+	DP    dp.Result
+
+	// Quality checks on the final placement.
+	Overlaps        int
+	FenceViolations int
+	OutOfDie        int
+
+	// Stage wall-clock durations.
+	GPTime, RouteOptTime, LegalTime, DPTime time.Duration
+}
+
+// Trace records the convergence of level-0 global placement.
+type Trace struct {
+	// Iter, Objective and HPWL are parallel arrays sampled once per CG
+	// iteration.
+	Iter      []int
+	Objective []float64
+	HPWL      []float64
+	// LambdaRound marks the λ round each sample belongs to.
+	LambdaRound []int
+}
+
+func (t *Trace) add(iter, round int, obj, hpwl float64) {
+	t.Iter = append(t.Iter, iter)
+	t.Objective = append(t.Objective, obj)
+	t.HPWL = append(t.HPWL, hpwl)
+	t.LambdaRound = append(t.LambdaRound, round)
+}

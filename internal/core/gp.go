@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/nlopt"
+	"repro/internal/wl"
+)
+
+// gpStats summarizes one level's global placement.
+type gpStats struct {
+	LambdaRounds int
+	CGIters      int
+	Overflow     float64
+	// FinalLambda and FinalMu are the density and fence weights at
+	// termination; the routability loop resumes respreading from (a
+	// fraction of) them instead of re-annealing from scratch, which would
+	// undo the spreading and let density pressure eject fenced cells.
+	FinalLambda float64
+	FinalMu     float64
+}
+
+// levelSolver minimizes WL + λ·density + μ·fence over one problem level.
+type levelSolver struct {
+	cfg     Config
+	p       *cluster.Problem
+	die     geom.Rect
+	regions []db.Region
+	grid    *density.Grid
+	// ovGrid is a coarser companion grid used only for the overflow
+	// convergence check: at solver (cell-scale) resolution the discrete
+	// cells make exact-overlap density inherently lumpy, so convergence
+	// is judged at a few-cells-per-bin scale like the contest evaluators.
+	ovGrid *density.Grid
+	model  wl.Model
+	nl     *wl.Netlist
+	objs   []density.Obj
+
+	lambda, mu float64
+	// startLambda and startMu, when positive, seed the λ/μ escalation
+	// instead of the gradient-ratio initialization (used by routability
+	// respreads).
+	startLambda float64
+	startMu     float64
+	// freeze keeps λ and μ constant across rounds (routability respreads
+	// relax into a new equilibrium at the already-converged weights
+	// rather than re-annealing, which would either undo spreading or blow
+	// the density term up).
+	freeze bool
+	// stepScale shrinks the CG trial step (respreads make small moves).
+	stepScale float64
+	// debug prints per-round convergence when true (tests only).
+	debug bool
+	// scratch gradient buffers
+	gdx, gdy []float64
+	gfx, gfy []float64
+}
+
+// newLevelSolver sizes the density grid to the level and builds the model.
+// rowH carries the design row height for narrow-channel detection (pass 0
+// to skip derating).
+func newLevelSolver(cfg Config, p *cluster.Problem, die geom.Rect, fixed []geom.Rect, regions []db.Region, target, rowH float64) *levelSolver {
+	n := p.NumObjs()
+	// Grid: several bins per object so the bell resolution approaches the
+	// cell scale and the smoothed density cannot hide intra-bin clumping
+	// from the exact-overlap overflow check.
+	bins := 4 * float64(n)
+	if bins < 256 {
+		bins = 256
+	}
+	nx := int(math.Round(math.Sqrt(bins * die.W() / math.Max(1, die.H()))))
+	ny := int(math.Round(bins / math.Max(1, float64(nx))))
+	nx = clampInt(nx, 4, 512)
+	ny = clampInt(ny, 4, 512)
+	grid := density.NewGrid(die, nx, ny, target)
+	for _, r := range fixed {
+		grid.AddFixed(r)
+	}
+	ovBins := float64(n) / 4
+	if ovBins < 64 {
+		ovBins = 64
+	}
+	ovx := clampInt(int(math.Round(math.Sqrt(ovBins*die.W()/math.Max(1, die.H())))), 4, 256)
+	ovy := clampInt(int(math.Round(ovBins/math.Max(1, float64(ovx)))), 4, 256)
+	ovGrid := density.NewGrid(die, ovx, ovy, target)
+	for _, r := range fixed {
+		ovGrid.AddFixed(r)
+	}
+	if cfg.EnableChannelDerate && rowH > 0 && len(fixed) > 0 {
+		span := cfg.ChannelMinSpan * rowH
+		grid.DerateNarrowChannels(span, cfg.ChannelDerate)
+		ovGrid.DerateNarrowChannels(span, cfg.ChannelDerate)
+		// Derating must not make the density system infeasible: the
+		// summed capacity has to exceed the movable area or spreading
+		// stalls and legalization pays with huge displacement.
+		grid.EnsureCapacity(p.TotalArea(), 1.08)
+		ovGrid.EnsureCapacity(p.TotalArea(), 1.08)
+	}
+	gamma := cfg.GammaFactor * (grid.BinW + grid.BinH) / 2
+	var model wl.Model
+	if cfg.Model == "lse" {
+		model = wl.LSE{Gamma: gamma}
+	} else {
+		model = wl.WA{Gamma: gamma}
+	}
+	// Large levels evaluate in parallel; results stay deterministic for a
+	// fixed GOMAXPROCS (partition and reduction order are fixed).
+	if n >= 2000 {
+		model = wl.NewParallel(model, 0)
+		grid.SetWorkers(0)
+	}
+	s := &levelSolver{
+		cfg: cfg, p: p, die: die, regions: regions,
+		grid: grid, ovGrid: ovGrid, model: model,
+		nl:   &wl.Netlist{Nets: p.Nets, NumObjs: n},
+		objs: make([]density.Obj, n),
+		gdx:  make([]float64, n), gdy: make([]float64, n),
+		gfx: make([]float64, n), gfy: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.objs[i] = density.Obj{HalfW: p.HalfW[i], HalfH: p.HalfH[i], Area: p.Area[i]}
+	}
+	return s
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// fencePenalty evaluates the fence pull term Σ aᵢ·dᵢ² and its gradient
+// (area-weighted squared distance from each fenced object's center to its
+// region).
+func (s *levelSolver) fencePenalty(x, y []float64, gx, gy []float64) float64 {
+	var total float64
+	for i := range s.p.Region {
+		rg := s.p.Region[i]
+		if rg < 0 || rg >= len(s.regions) {
+			continue
+		}
+		pos := geom.Point{X: x[i], Y: y[i]}
+		q := s.regions[rg].Nearest(pos)
+		dx, dy := pos.X-q.X, pos.Y-q.Y
+		if dx == 0 && dy == 0 {
+			continue
+		}
+		a := s.p.Area[i]
+		total += a * (dx*dx + dy*dy)
+		if gx != nil {
+			gx[i] += 2 * a * dx
+			gy[i] += 2 * a * dy
+		}
+	}
+	return total
+}
+
+// objective evaluates f = WL + λ·N + μ·F into the packed vector layout
+// ([x..., y...]) used by the CG solver.
+func (s *levelSolver) objective(v []float64, grad []float64) float64 {
+	n := s.p.NumObjs()
+	x, y := v[:n], v[n:]
+	var gx, gy []float64
+	if grad != nil {
+		gx, gy = grad[:n], grad[n:]
+	}
+	f := s.model.Eval(s.nl, x, y, gx, gy)
+	if s.lambda > 0 {
+		for i := range s.gdx {
+			s.gdx[i] = 0
+			s.gdy[i] = 0
+		}
+		var dgx, dgy []float64
+		if grad != nil {
+			dgx, dgy = s.gdx, s.gdy
+		}
+		den := s.grid.Penalty(s.objs, x, y, dgx, dgy)
+		f += s.lambda * den
+		if grad != nil {
+			for i := range gx {
+				gx[i] += s.lambda * s.gdx[i]
+				gy[i] += s.lambda * s.gdy[i]
+			}
+		}
+	}
+	if s.mu > 0 {
+		for i := range s.gfx {
+			s.gfx[i] = 0
+			s.gfy[i] = 0
+		}
+		var fgx, fgy []float64
+		if grad != nil {
+			fgx, fgy = s.gfx, s.gfy
+		}
+		fen := s.fencePenalty(x, y, fgx, fgy)
+		f += s.mu * fen
+		if grad != nil {
+			for i := range gx {
+				gx[i] += s.mu * s.gfx[i]
+				gy[i] += s.mu * s.gfy[i]
+			}
+		}
+	}
+	return f
+}
+
+// gradL1 returns Σ|g| of a term's gradient evaluated in isolation.
+func gradL1(gx, gy []float64) float64 {
+	var s float64
+	for i := range gx {
+		s += math.Abs(gx[i]) + math.Abs(gy[i])
+	}
+	return s
+}
+
+// initWeights sets λ and μ so the density and fence gradients start as
+// small fractions of the wirelength gradient (then double every round).
+func (s *levelSolver) initWeights(v []float64) {
+	n := s.p.NumObjs()
+	x, y := v[:n], v[n:]
+	gwx := make([]float64, n)
+	gwy := make([]float64, n)
+	s.model.Eval(s.nl, x, y, gwx, gwy)
+	wlG := gradL1(gwx, gwy) + 1e-12
+
+	for i := range s.gdx {
+		s.gdx[i] = 0
+		s.gdy[i] = 0
+	}
+	s.grid.Penalty(s.objs, x, y, s.gdx, s.gdy)
+	denG := gradL1(s.gdx, s.gdy)
+	if denG > 0 {
+		s.lambda = 0.03 * wlG / denG
+	} else {
+		s.lambda = 0
+	}
+
+	for i := range s.gfx {
+		s.gfx[i] = 0
+		s.gfy[i] = 0
+	}
+	fen := s.fencePenalty(x, y, s.gfx, s.gfy)
+	fenG := gradL1(s.gfx, s.gfy)
+	if fen > 0 && fenG > 0 {
+		s.mu = 0.05 * wlG / fenG
+	} else {
+		s.mu = 0
+	}
+}
+
+// project clamps object centers so footprints stay inside the die.
+func (s *levelSolver) project(v []float64) {
+	n := s.p.NumObjs()
+	for i := 0; i < n; i++ {
+		hw, hh := s.p.HalfW[i], s.p.HalfH[i]
+		lox, hix := s.die.Lo.X+hw, s.die.Hi.X-hw
+		loy, hiy := s.die.Lo.Y+hh, s.die.Hi.Y-hh
+		if lox > hix {
+			c := (s.die.Lo.X + s.die.Hi.X) / 2
+			lox, hix = c, c
+		}
+		if loy > hiy {
+			c := (s.die.Lo.Y + s.die.Hi.Y) / 2
+			loy, hiy = c, c
+		}
+		if v[i] < lox {
+			v[i] = lox
+		}
+		if v[i] > hix {
+			v[i] = hix
+		}
+		if v[n+i] < loy {
+			v[n+i] = loy
+		}
+		if v[n+i] > hiy {
+			v[n+i] = hiy
+		}
+	}
+}
+
+// maxFenceDist returns the largest center-to-fence distance over fenced
+// objects (0 when all are home).
+func (s *levelSolver) maxFenceDist(x, y []float64) float64 {
+	m := 0.0
+	for i := range s.p.Region {
+		rg := s.p.Region[i]
+		if rg < 0 || rg >= len(s.regions) {
+			continue
+		}
+		pos := geom.Point{X: x[i], Y: y[i]}
+		if d := pos.Dist(s.regions[rg].Nearest(pos)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// solve runs the λ-escalation loop. Positions are read from and written
+// back to the problem. trace, when non-nil, records the convergence curve.
+func (s *levelSolver) solve(trace *Trace) gpStats {
+	n := s.p.NumObjs()
+	v := make([]float64, 2*n)
+	copy(v[:n], s.p.X)
+	copy(v[n:], s.p.Y)
+	s.project(v)
+	s.initWeights(v)
+	if s.startLambda > 0 {
+		s.lambda = s.startLambda
+	}
+	if s.startMu > 0 {
+		s.mu = s.startMu
+	}
+
+	stats := gpStats{}
+	iterBase := 0
+	fenceTol := (s.grid.BinW + s.grid.BinH) / 2
+	prevFine := math.Inf(1)
+	prevOv := math.Inf(1)
+	for round := 0; round < s.cfg.MaxLambdaRounds; round++ {
+		stats.LambdaRounds = round + 1
+		var onIter func(int, float64)
+		if trace != nil {
+			onIter = func(it int, f float64) {
+				trace.add(iterBase+it, round, f, wl.HPWL(s.nl, v[:n], v[n:]))
+			}
+		}
+		step := (s.grid.BinW + s.grid.BinH) / 2
+		if s.stepScale > 0 {
+			step *= s.stepScale
+		}
+		relTol := 1e-4
+		if s.freeze {
+			// Frozen respreads operate where the density term dominates
+			// the objective; the plateau detector would misread slow but
+			// real relief work as convergence.
+			relTol = 0
+		}
+		res := nlopt.CG(s.objective, v, nlopt.Options{
+			MaxIter:  s.cfg.GPIterPerRound,
+			GradTol:  1e-9,
+			RelTol:   relTol,
+			StepInit: step,
+			Project:  s.project,
+			OnIter:   onIter,
+		})
+		stats.CGIters += res.Iters
+		iterBase += res.Iters
+		stats.Overflow = s.ovGrid.Overflow(s.objs, v[:n], v[n:])
+		fenced := s.maxFenceDist(v[:n], v[n:])
+		// Converged when the neighbourhood-scale overflow is below the
+		// stop threshold, fences are satisfied, and cell-scale clumping
+		// (which drives legalization displacement) has either gotten
+		// small or stopped improving — it has a structural floor set by
+		// the discreteness of cells at bin resolution.
+		fineOv := s.grid.Overflow(s.objs, v[:n], v[n:])
+		fineDone := fineOv < 2*s.cfg.OverflowStop || fineOv > prevFine*0.97
+		prevFine = fineOv
+		if s.debug {
+			fmt.Printf("  round %d: lambda=%.3g mu=%.3g coarse=%.3f fine=%.3f fence=%.1f hpwl=%.0f iters=%d\n",
+				round, s.lambda, s.mu, stats.Overflow, fineOv, fenced, wl.HPWL(s.nl, v[:n], v[n:]), res.Iters)
+		}
+		if stats.Overflow < s.cfg.OverflowStop && fineDone && fenced <= fenceTol {
+			break
+		}
+		if s.freeze {
+			continue
+		}
+		// Escalate λ; when the round was a no-op (overflow unchanged and
+		// CG hit an immediate plateau) the weight is far from the regime
+		// where density matters, so fast-forward instead of burning the
+		// round budget two-fold at a time.
+		factor := 2.0
+		if stats.Overflow > 0.5 && stats.Overflow > 0.99*prevOv && res.Iters <= 2 {
+			factor = 8
+		}
+		prevOv = stats.Overflow
+		s.lambda *= factor
+		if s.mu > 0 {
+			s.mu *= factor
+		} else if fenced > fenceTol {
+			// Fences engaged late (objects drifted out): bootstrap μ.
+			s.initWeights(v)
+			if s.mu == 0 {
+				s.mu = s.lambda
+			}
+		}
+	}
+	copy(s.p.X, v[:n])
+	copy(s.p.Y, v[n:])
+	stats.FinalLambda = s.lambda
+	stats.FinalMu = s.mu
+	return stats
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/db"
+	"repro/internal/dp"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/legal"
+	"repro/internal/route"
+)
+
+// TestPlacedDesignSurvivesBookshelfRoundTrip places a design, writes it as
+// a Bookshelf bundle, reads it back and checks that the wirelength and the
+// routed score are identical — the end-to-end property a downstream user
+// of the placer + evaluator pipeline relies on.
+func TestPlacedDesignSurvivesBookshelfRoundTrip(t *testing.T) {
+	d := gen.MustGenerate(smallCfg())
+	if _, err := MustNew(Config{DisableRoutability: true}).Place(d); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aux, err := bookshelf.WriteDesign(d, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bookshelf.ReadDesign(aux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.HPWL()-d.HPWL()) > 1e-6*d.HPWL() {
+		t.Errorf("HPWL changed across round trip: %v -> %v", d.HPWL(), got.HPWL())
+	}
+	if got.OverlapViolations() != 0 || got.FenceViolations() != 0 {
+		t.Errorf("legality lost across round trip: overlaps=%d fences=%d",
+			got.OverlapViolations(), got.FenceViolations())
+	}
+	m1, err := route.EvaluateDesign(d, route.RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := route.EvaluateDesign(got, route.RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1.RC-m2.RC) > 1e-9 {
+		t.Errorf("routed RC changed across round trip: %v -> %v", m1.RC, m2.RC)
+	}
+}
+
+// TestLegalizationIdempotent re-legalizes an already legal placement and
+// verifies cells barely move (Abacus may re-snap within a site).
+func TestLegalizationIdempotent(t *testing.T) {
+	d := gen.MustGenerate(smallCfg())
+	if _, err := MustNew(Config{DisableRoutability: true}).Place(d); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int][2]float64)
+	for _, ci := range d.Movable() {
+		before[ci] = [2]float64{d.Cells[ci].Pos.X, d.Cells[ci].Pos.Y}
+	}
+	res, err := legal.LegalizeCells(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallbacks != 0 {
+		t.Fatalf("re-legalization fell back on %d cells", res.Fallbacks)
+	}
+	siteW := d.Rows[0].SiteWidth
+	moved := 0
+	for ci, p := range before {
+		c := &d.Cells[ci]
+		if !c.Movable() {
+			continue
+		}
+		if math.Abs(c.Pos.X-p[0]) > 2*siteW || math.Abs(c.Pos.Y-p[1]) > 1e-9 {
+			moved++
+		}
+	}
+	// A legal placement is a fixed point up to site re-snapping; allow a
+	// tiny fraction of boundary cells to shuffle.
+	if moved > len(before)/20 {
+		t.Errorf("re-legalization moved %d/%d cells", moved, len(before))
+	}
+	if d.OverlapViolations() != 0 {
+		t.Error("re-legalization broke legality")
+	}
+}
+
+// TestDPIdempotentOnConvergedPlacement runs detailed placement twice; the
+// second pass must find almost nothing left to improve.
+func TestDPIdempotentOnConvergedPlacement(t *testing.T) {
+	d := gen.MustGenerate(smallCfg())
+	if _, err := MustNew(Config{DisableRoutability: true, DPPasses: 3}).Place(d); err != nil {
+		t.Fatal(err)
+	}
+	h1 := d.HPWL()
+	res := dp.Optimize(d, dp.Options{Passes: 2})
+	improvement := (h1 - res.After) / h1
+	if improvement > 0.02 {
+		t.Errorf("second DP run improved HPWL by %.1f%%; first run under-converged", 100*improvement)
+	}
+	if d.OverlapViolations() != 0 || d.FenceViolations() != 0 {
+		t.Error("extra DP pass broke legality")
+	}
+}
+
+// TestDeterministicEndToEnd runs the full flow twice on identical inputs
+// and demands bit-identical placements — the reproducibility property the
+// benchmark tables depend on.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() *gen.Config { c := smallCfg(); return &c }
+	d1 := gen.MustGenerate(*run())
+	d2 := gen.MustGenerate(*run())
+	if _, err := MustNew(Config{}).Place(d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MustNew(Config{}).Place(d2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Cells {
+		if d1.Cells[i].Pos != d2.Cells[i].Pos || d1.Cells[i].Orient != d2.Cells[i].Orient {
+			t.Fatalf("cell %d differs between identical runs: %v/%v vs %v/%v",
+				i, d1.Cells[i].Pos, d1.Cells[i].Orient, d2.Cells[i].Pos, d2.Cells[i].Orient)
+		}
+	}
+}
+
+// TestQuadInitPullsTowardAnchors checks the quadratic warm start: a cell
+// whose only net ends at a corner terminal must move toward that corner.
+func TestQuadInitPullsTowardAnchors(t *testing.T) {
+	b := db.NewBuilder("q", geom.NewRect(0, 0, 100, 100))
+	tl := b.AddTerminal("t", geom.Point{X: 0, Y: 0})
+	a := b.AddStdCell("a", 2, 2)
+	c := b.AddStdCell("c", 2, 2)
+	b.AddNet("n0", 1, db.Conn{Cell: tl}, b.CenterConn(a))
+	b.AddNet("n1", 1, b.CenterConn(a), b.CenterConn(c))
+	d := b.MustDesign()
+	d.Cells[a].SetCenter(geom.Point{X: 90, Y: 90})
+	d.Cells[c].SetCenter(geom.Point{X: 90, Y: 90})
+	prob, pm := lower(d)
+	quadInit(prob, d.Die)
+	writeBack(d, prob, pm)
+	if got := d.Cells[a].Center(); got.X > 30 || got.Y > 30 {
+		t.Errorf("anchored cell stayed at %v", got)
+	}
+	// The chained cell follows.
+	if got := d.Cells[c].Center(); got.X > 40 || got.Y > 40 {
+		t.Errorf("chained cell stayed at %v", got)
+	}
+}
+
+// TestQuadInitNoAnchorsIsStable verifies the warm start does not fling an
+// anchor-free design around (translation-invariant system).
+func TestQuadInitNoAnchorsIsStable(t *testing.T) {
+	b := db.NewBuilder("q2", geom.NewRect(0, 0, 100, 100))
+	a := b.AddStdCell("a", 2, 2)
+	c := b.AddStdCell("c", 2, 2)
+	b.AddNet("n", 1, b.CenterConn(a), b.CenterConn(c))
+	d := b.MustDesign()
+	d.Cells[a].SetCenter(geom.Point{X: 40, Y: 50})
+	d.Cells[c].SetCenter(geom.Point{X: 60, Y: 50})
+	prob, pm := lower(d)
+	quadInit(prob, d.Die)
+	writeBack(d, prob, pm)
+	// The pair should collapse toward a common point between them, not
+	// leave the die or separate.
+	pa, pc := d.Cells[a].Center(), d.Cells[c].Center()
+	if pa.Dist(pc) > 20.01 {
+		t.Errorf("pair separated: %v %v", pa, pc)
+	}
+	mid := geom.Point{X: (pa.X + pc.X) / 2, Y: (pa.Y + pc.Y) / 2}
+	if mid.Dist(geom.Point{X: 50, Y: 50}) > 10 {
+		t.Errorf("pair drifted: midpoint %v", mid)
+	}
+}
+
+// TestDisableQuadInitStillLegal checks the cold-start ablation path.
+func TestDisableQuadInitStillLegal(t *testing.T) {
+	d := gen.MustGenerate(smallCfg())
+	res, err := MustNew(Config{DisableRoutability: true, DisableQuadInit: true}).Place(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlaps != 0 || res.OutOfDie != 0 || res.FenceViolations != 0 {
+		t.Errorf("cold start broke legality: %+v", res)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/wl"
+)
+
+// problemMap ties the flat GP problem back to design cells.
+type problemMap struct {
+	// objToCell[i] is the design cell index of object i.
+	objToCell []int
+	// cellToObj[c] is the object index of cell c, or -1 for non-movable
+	// cells.
+	cellToObj []int
+}
+
+// lower flattens the design into a cluster.Problem over its movable cells.
+// Pin offsets are taken relative to each cell's center in its current
+// orientation; fixed pins become absolute positions.
+func lower(d *db.Design) (*cluster.Problem, *problemMap) {
+	pm := &problemMap{cellToObj: make([]int, len(d.Cells))}
+	for i := range pm.cellToObj {
+		pm.cellToObj[i] = -1
+	}
+	p := &cluster.Problem{}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Movable() {
+			continue
+		}
+		pm.cellToObj[ci] = len(pm.objToCell)
+		pm.objToCell = append(pm.objToCell, ci)
+		p.Area = append(p.Area, c.Area())
+		p.HalfW = append(p.HalfW, c.W()/2)
+		p.HalfH = append(p.HalfH, c.H()/2)
+		p.Group = append(p.Group, c.Module)
+		p.Region = append(p.Region, d.CellRegion(ci))
+		p.Macro = append(p.Macro, c.Kind == db.Macro)
+		ctr := c.Center()
+		p.X = append(p.X, ctr.X)
+		p.Y = append(p.Y, ctr.Y)
+	}
+	for ni := range d.Nets {
+		net := &d.Nets[ni]
+		if net.Degree() < 2 {
+			continue
+		}
+		out := wl.Net{Weight: net.Weight}
+		for _, pi := range net.Pins {
+			pin := &d.Pins[pi]
+			c := &d.Cells[pin.Cell]
+			if obj := pm.cellToObj[pin.Cell]; obj >= 0 {
+				off := c.OrientOffset(pin.Offset)
+				out.Pins = append(out.Pins, wl.PinRef{
+					Obj:  obj,
+					OffX: off.X - c.W()/2,
+					OffY: off.Y - c.H()/2,
+				})
+			} else {
+				pos := d.PinPos(pi)
+				out.Pins = append(out.Pins, wl.PinRef{Obj: wl.Fixed, OffX: pos.X, OffY: pos.Y})
+			}
+		}
+		p.Nets = append(p.Nets, out)
+	}
+	return p, pm
+}
+
+// staggerCoincident displaces objects that share (nearly) the same center
+// onto a small deterministic golden-angle spiral. Exactly coincident
+// objects receive identical wirelength and density gradients and would
+// move in lockstep forever — a degenerate start that occurs whenever a
+// netlist arrives unplaced (every cell at the origin) or a caller parks
+// all movables on one spot.
+func staggerCoincident(p *cluster.Problem, die geom.Rect) {
+	eps := (die.W() + die.H()) / 2 * 1e-4
+	type key struct{ x, y int64 }
+	seen := make(map[key]int, p.NumObjs())
+	for i := 0; i < p.NumObjs(); i++ {
+		k := key{int64(p.X[i] / eps), int64(p.Y[i] / eps)}
+		n := seen[k]
+		seen[k] = n + 1
+		if n == 0 {
+			continue
+		}
+		r := eps * 2 * math.Sqrt(float64(n))
+		a := 2.399963 * float64(n)
+		p.X[i] += r * math.Cos(a)
+		p.Y[i] += r * math.Sin(a)
+	}
+}
+
+// writeBack copies object centers into design cell positions, clamping
+// footprints into the die.
+func writeBack(d *db.Design, p *cluster.Problem, pm *problemMap) {
+	for i, ci := range pm.objToCell {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{X: p.X[i], Y: p.Y[i]})
+		c.Pos = d.Die.ClampRect(c.Rect()).Lo
+	}
+}
+
+// fixedRects returns the footprints of fixed space-occupying objects,
+// clipped to the die, for density base accounting.
+func fixedRects(d *db.Design) []geom.Rect {
+	var out []geom.Rect
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Movable() || c.Kind == db.Terminal || c.Area() == 0 {
+			continue
+		}
+		r := c.Rect().Intersect(d.Die)
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// stripFences removes every fence constraint from the design in place
+// (the "flat" baseline). The region records themselves are deleted too:
+// leaving them would keep the fence areas reserved during legalization,
+// which is the opposite of "ignore fences".
+func stripFences(d *db.Design) {
+	for i := range d.Cells {
+		d.Cells[i].Region = db.NoRegion
+	}
+	for i := range d.Modules {
+		d.Modules[i].Region = db.NoRegion
+	}
+	d.Regions = nil
+}

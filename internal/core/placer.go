@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/dp"
+	"repro/internal/geom"
+	"repro/internal/legal"
+	"repro/internal/route"
+)
+
+// Placer runs the full placement flow for one configuration.
+type Placer struct {
+	cfg Config
+}
+
+// New builds a placer; the zero Config is the full WA-model,
+// routability-driven, hierarchy-aware flow.
+func New(cfg Config) (*Placer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Placer{cfg: cfg.withDefaults()}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Placer {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Place runs global placement, the routability loop, macro orientation,
+// legalization and detailed placement on d, mutating cell positions (and
+// orientations, and macro Fixed flags). It returns the run report.
+func (pl *Placer) Place(d *db.Design) (Result, error) {
+	cfg := pl.cfg
+	res := Result{}
+	if len(d.Cells) == 0 {
+		return res, fmt.Errorf("core: empty design")
+	}
+	if d.Die.Empty() {
+		return res, fmt.Errorf("core: design %q has empty die", d.Name)
+	}
+	if cfg.DisableFences {
+		stripFences(d)
+	}
+
+	target := cfg.TargetDensity
+	if target == 0 {
+		u := d.Utilization()
+		target = math.Min(1, u*1.15+0.05)
+	}
+
+	// ---- Global placement -------------------------------------------
+	t0 := time.Now()
+	prob, pm := lower(d)
+	if len(pm.objToCell) == 0 {
+		return res, fmt.Errorf("core: design %q has no movable cells", d.Name)
+	}
+	fixed := fixedRects(d)
+	staggerCoincident(prob, d.Die)
+	if !cfg.DisableQuadInit {
+		quadInit(prob, d.Die)
+		staggerCoincident(prob, d.Die)
+	}
+
+	var hier *cluster.Hierarchy
+	if cfg.DisableMultilevel {
+		hier = &cluster.Hierarchy{Levels: []*cluster.Problem{prob}}
+	} else {
+		hier = cluster.Build(prob, cluster.Options{MinObjs: cfg.ClusterMinObjs})
+	}
+	res.Levels = len(hier.Levels)
+	var lastLambda, lastMu float64
+	for l := len(hier.Levels) - 1; l >= 0; l-- {
+		var trace *Trace
+		if l == 0 {
+			trace = cfg.Trace
+		}
+		s := newLevelSolver(cfg, hier.Levels[l], d.Die, fixed, d.Regions, target, d.RowHeight())
+		st := s.solve(trace)
+		res.LambdaRounds += st.LambdaRounds
+		res.CGIters += st.CGIters
+		res.Overflow = st.Overflow
+		lastLambda = st.FinalLambda
+		lastMu = st.FinalMu
+		if l > 0 {
+			hier.Interpolate(l - 1)
+		}
+	}
+	writeBack(d, prob, pm)
+	res.GPTime = time.Since(t0)
+	res.HPWLGlobal = d.HPWL()
+
+	// ---- Routability loop -------------------------------------------
+	var routedGrid *route.Grid
+	if !cfg.DisableRoutability && d.Route != nil {
+		t1 := time.Now()
+		g, err := pl.routabilityLoop(d, prob, pm, fixed, target, lastLambda, lastMu, &res)
+		if err != nil {
+			return res, err
+		}
+		routedGrid = g
+		res.RouteOptTime = time.Since(t1)
+		res.HPWLGlobal = d.HPWL()
+	}
+
+	// ---- Macro orientation ------------------------------------------
+	if !cfg.DisableMacroOrient {
+		orientMacros(d)
+	}
+
+	// ---- Legalization ------------------------------------------------
+	t2 := time.Now()
+	legal.LegalizeMacros(d)
+	lres, err := legal.LegalizeCells(d)
+	if err != nil {
+		return res, err
+	}
+	res.Legal = lres
+	res.LegalTime = time.Since(t2)
+	res.HPWLLegal = d.HPWL()
+
+	// ---- Detailed placement ------------------------------------------
+	if !cfg.DisableDP {
+		t3 := time.Now()
+		dpOpt := dp.Options{Passes: cfg.DPPasses}
+		if routedGrid != nil {
+			// Routability-aware detailed placement: the final routed
+			// congestion map penalizes moves into overloaded tiles.
+			dpOpt.Congestion = routedGrid.TileCongestion()
+			dpOpt.CongNX = routedGrid.NX
+			dpOpt.CongOrigin = routedGrid.Origin
+			dpOpt.CongTileW = routedGrid.TileW
+			dpOpt.CongTileH = routedGrid.TileH
+		}
+		res.DP = dp.Optimize(d, dpOpt)
+		res.DPTime = time.Since(t3)
+	}
+	res.HPWLFinal = d.HPWL()
+	res.Overlaps = d.OverlapViolations()
+	res.FenceViolations = d.FenceViolations()
+	res.OutOfDie = d.OutOfDie()
+	return res, nil
+}
+
+// routabilityLoop runs estimate → inflate → respread rounds on the level-0
+// problem, updating design positions after each round.
+func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *problemMap, fixed []geom.Rect, target float64, lastLambda, lastMu float64, res *Result) (*route.Grid, error) {
+	cfg := pl.cfg
+	grid, err := route.NewGrid(d)
+	if err != nil {
+		return nil, err
+	}
+	// Inflation budget: inflated movable area must stay within the
+	// spreadable capacity or the density solver can never converge.
+	freeArea := d.Die.Area() - d.FixedAreaInDie()
+	budget := 0.9 * target * freeArea
+	// Wirelength guard: spreading for routability is only worth a bounded
+	// wirelength hit (the sHPWL metric trades 3% HPWL per RC point).
+	hpwlBudget := d.HPWL() * 1.15
+	origW := make([]float64, len(prob.Nets))
+	for ni := range prob.Nets {
+		origW[ni] = prob.Nets[ni].Weight
+	}
+
+	router := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: 2})
+	// The loop is gated: every iteration's placement is scored with the
+	// router (the same sHPWL proxy the final evaluation uses) and the best
+	// snapshot wins, so the loop can explore without ever shipping a
+	// placement worse than its starting point.
+	bestX := append([]float64(nil), prob.X...)
+	bestY := append([]float64(nil), prob.Y...)
+	bestScore := math.Inf(1)
+	scoreNow := func() float64 {
+		rc := route.RC(grid.ACEProfile())
+		return route.ScaledHPWL(d.HPWL(), rc)
+	}
+	for iter := 0; iter < cfg.RoutabilityIters; iter++ {
+		// The congestion signal is the *routed* demand map: the design is
+		// globally routed with a reduced rip-up budget and the leftover
+		// per-tile utilization marks the spots placement must relieve.
+		router.RouteDesign(d)
+		if sc := scoreNow(); sc < bestScore {
+			bestScore = sc
+			copy(bestX, prob.X)
+			copy(bestY, prob.Y)
+		}
+		tileCong := grid.TileCongestion()
+		stat := CongStat{ACE: grid.ACEProfile()}
+		for _, c := range tileCong {
+			if c > stat.MaxTileCongestion {
+				stat.MaxTileCongestion = c
+			}
+		}
+		// Inflation is relative: only tiles that are congested both in
+		// absolute terms and versus the design's 75th percentile inflate,
+		// so a uniformly overloaded design still gets *targeted* relief
+		// of its worst spots instead of a blanket (and useless) blow-up.
+		ref := math.Max(cfg.CongestionThreshold, quantile(tileCong, 0.75))
+		inflated := 0
+		for _, ci := range pm.objToCell {
+			c := &d.Cells[ci]
+			if c.Kind == db.Macro {
+				// Macros are never inflated: their footprints already
+				// dominate their tiles and inflating them just thrashes
+				// the whole region.
+				continue
+			}
+			tx, ty := grid.TileOf(c.Center())
+			cong := tileCong[ty*grid.NX+tx]
+			if cong <= ref {
+				continue
+			}
+			ratio := math.Min(cfg.InflateMax, math.Pow(cong/ref, cfg.InflateExp))
+			// Grow gently: at most +25% density footprint per iteration,
+			// so one noisy estimate cannot blow a region up.
+			ratio = math.Min(ratio, c.Inflate*1.25)
+			if ratio > c.Inflate {
+				c.Inflate = ratio
+				inflated++
+			}
+		}
+		// Enforce the area budget by scaling the inflation excess down.
+		var inflatedArea float64
+		for _, ci := range pm.objToCell {
+			inflatedArea += d.Cells[ci].InflatedArea()
+		}
+		if inflatedArea > budget {
+			baseArea := 0.0
+			for _, ci := range pm.objToCell {
+				baseArea += d.Cells[ci].Area()
+			}
+			if inflatedArea > baseArea {
+				scale := (budget - baseArea) / (inflatedArea - baseArea)
+				if scale < 0 {
+					scale = 0
+				}
+				for _, ci := range pm.objToCell {
+					c := &d.Cells[ci]
+					c.Inflate = 1 + (c.Inflate-1)*scale
+				}
+			}
+		}
+		for i, ci := range pm.objToCell {
+			prob.Area[i] = d.Cells[ci].InflatedArea()
+		}
+		stat.Inflated = inflated
+		res.Cong = append(res.Cong, stat)
+		if inflated == 0 {
+			break
+		}
+		weightNetsByCongestion(prob, grid, tileCong, ref, origW)
+		// Respread with the inflated areas: a short run that resumes the
+		// λ escalation near where the main GP ended, so the established
+		// spreading is preserved and only the inflated regions move.
+		respread := cfg
+		respread.MaxLambdaRounds = 4
+		s := newLevelSolver(respread, prob, d.Die, fixed, d.Regions, target, d.RowHeight())
+		s.startLambda = lastLambda
+		s.startMu = lastMu
+		s.freeze = true
+		s.stepScale = 0.25
+		st := s.solve(nil)
+		res.LambdaRounds += st.LambdaRounds
+		res.CGIters += st.CGIters
+		res.Overflow = st.Overflow
+		writeBack(d, prob, pm)
+		if d.HPWL() > hpwlBudget {
+			break
+		}
+	}
+	// Restore pre-loop net weights so later HPWL-driven stages (macro
+	// orientation, detailed placement) see the design's true weights.
+	for ni := range prob.Nets {
+		prob.Nets[ni].Weight = origW[ni]
+	}
+	// Score the final state, restore the best snapshot if it lost, and
+	// record the shipped state's congestion profile (experiment F6 reads
+	// res.Cong's last entry as "after the loop").
+	router.RouteDesign(d)
+	if scoreNow() > bestScore {
+		copy(prob.X, bestX)
+		copy(prob.Y, bestY)
+		writeBack(d, prob, pm)
+		router.RouteDesign(d)
+	}
+	final := CongStat{ACE: grid.ACEProfile()}
+	for _, c := range grid.TileCongestion() {
+		if c > final.MaxTileCongestion {
+			final.MaxTileCongestion = c
+		}
+	}
+	res.Cong = append(res.Cong, final)
+	return grid, nil
+}
+
+// weightNetsByCongestion scales each GP net's weight by how congested the
+// tiles under its bounding box are (relative to ref, clamped to [1, 3]),
+// so the respread's wirelength model preferentially shortens nets that
+// run through hot regions — reducing their routing demand directly.
+// origW holds the pre-loop weights so multipliers never compound.
+func weightNetsByCongestion(prob *cluster.Problem, grid *route.Grid, tileCong []float64, ref float64, origW []float64) {
+	for ni := range prob.Nets {
+		net := &prob.Nets[ni]
+		if len(net.Pins) < 2 {
+			continue
+		}
+		// Bounding box over current pin positions.
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, p := range net.Pins {
+			var px, py float64
+			if p.Obj >= 0 {
+				px, py = prob.X[p.Obj]+p.OffX, prob.Y[p.Obj]+p.OffY
+			} else {
+				px, py = p.OffX, p.OffY
+			}
+			minX = math.Min(minX, px)
+			maxX = math.Max(maxX, px)
+			minY = math.Min(minY, py)
+			maxY = math.Max(maxY, py)
+		}
+		// Sample congestion at the box center and corners.
+		var cong float64
+		for _, pt := range [...][2]float64{
+			{(minX + maxX) / 2, (minY + maxY) / 2},
+			{minX, minY}, {maxX, maxY}, {minX, maxY}, {maxX, minY},
+		} {
+			tx, ty := grid.TileOf(geom.Point{X: pt[0], Y: pt[1]})
+			cong += tileCong[ty*grid.NX+tx]
+		}
+		cong /= 5
+		mult := 1.0
+		if ref > 0 && cong > ref {
+			mult = math.Min(3, cong/ref)
+		}
+		net.Weight = origW[ni] * mult
+	}
+}
+
+// quantile returns the q-quantile (0..1) of vs by sorting a copy.
+func quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vs...)
+	sort.Float64s(cp)
+	i := int(q * float64(len(cp)-1))
+	return cp[i]
+}
+
+// orientMacros greedily picks, per movable macro, the orientation that
+// minimizes the HPWL of its incident nets (the discrete counterpart of
+// the paper's rotation force; candidates keep the footprint inside the
+// die).
+func orientMacros(d *db.Design) {
+	candidates := []db.Orient{db.N, db.S, db.FN, db.FS, db.E, db.W, db.FE, db.FW}
+	for _, mi := range d.MovableMacros() {
+		c := &d.Cells[mi]
+		center := c.Center()
+		bestOrient := c.Orient
+		bestCost := math.Inf(1)
+		origOrient := c.Orient
+		for _, o := range candidates {
+			c.Orient = o
+			c.SetCenter(center)
+			if !d.Die.ContainsRect(c.Rect()) {
+				continue
+			}
+			var cost float64
+			for _, pi := range c.Pins {
+				cost += d.NetHPWL(d.Pins[pi].Net)
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestOrient = o
+			}
+		}
+		if math.IsInf(bestCost, 1) {
+			bestOrient = origOrient
+		}
+		c.Orient = bestOrient
+		c.SetCenter(center)
+	}
+}

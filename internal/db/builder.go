@@ -1,0 +1,176 @@
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Builder assembles a Design incrementally with automatic cross-linking of
+// cells, pins and nets. It is the programmatic construction path used by
+// the synthetic benchmark generator, the examples and tests; the Bookshelf
+// reader uses it too, so both paths produce identically-wired databases.
+type Builder struct {
+	d    *Design
+	errs []error
+}
+
+// NewBuilder starts a design with the given name and die area.
+func NewBuilder(name string, die geom.Rect) *Builder {
+	return &Builder{d: &Design{Name: name, Die: die}}
+}
+
+// AddCell appends a cell and returns its index. The cell's Pins slice is
+// managed by the builder; pass it empty.
+func (b *Builder) AddCell(c Cell) int {
+	if c.Inflate == 0 {
+		c.Inflate = 1
+	}
+	if c.Module == 0 && len(b.d.Modules) == 0 {
+		c.Module = NoModule
+	}
+	b.d.Cells = append(b.d.Cells, c)
+	return len(b.d.Cells) - 1
+}
+
+// AddStdCell is a convenience wrapper for a movable standard cell.
+func (b *Builder) AddStdCell(name string, w, h float64) int {
+	return b.AddCell(Cell{Name: name, Kind: StdCell, BaseW: w, BaseH: h, Region: NoRegion, Module: NoModule, Inflate: 1})
+}
+
+// AddMacro adds a macro cell; fixed macros act as placement blockages.
+func (b *Builder) AddMacro(name string, w, h float64, fixed bool) int {
+	return b.AddCell(Cell{Name: name, Kind: Macro, BaseW: w, BaseH: h, Fixed: fixed, Region: NoRegion, Module: NoModule, Inflate: 1})
+}
+
+// AddTerminal adds a fixed zero-area I/O terminal at the given position.
+func (b *Builder) AddTerminal(name string, at geom.Point) int {
+	return b.AddCell(Cell{Name: name, Kind: Terminal, Fixed: true, Pos: at, Region: NoRegion, Module: NoModule, Inflate: 1})
+}
+
+// AddNet creates a net connecting pins at the given cell/offset pairs and
+// returns the net index.
+func (b *Builder) AddNet(name string, weight float64, conns ...Conn) int {
+	ni := len(b.d.Nets)
+	net := Net{Name: name, Weight: weight}
+	for _, cn := range conns {
+		if cn.Cell < 0 || cn.Cell >= len(b.d.Cells) {
+			b.errs = append(b.errs, fmt.Errorf("db: net %q connects to cell %d out of range", name, cn.Cell))
+			continue
+		}
+		pi := len(b.d.Pins)
+		b.d.Pins = append(b.d.Pins, Pin{Cell: cn.Cell, Net: ni, Offset: cn.Offset})
+		b.d.Cells[cn.Cell].Pins = append(b.d.Cells[cn.Cell].Pins, pi)
+		net.Pins = append(net.Pins, pi)
+	}
+	b.d.Nets = append(b.d.Nets, net)
+	return ni
+}
+
+// Conn names one connection of a net: a cell and the pin offset from the
+// cell's lower-left corner (reference orientation).
+type Conn struct {
+	Cell   int
+	Offset geom.Point
+}
+
+// CenterConn returns a Conn at the center of the given cell.
+func (b *Builder) CenterConn(cell int) Conn {
+	c := &b.d.Cells[cell]
+	return Conn{Cell: cell, Offset: geom.Point{X: c.BaseW / 2, Y: c.BaseH / 2}}
+}
+
+// AddRegion appends a fence region and returns its index.
+func (b *Builder) AddRegion(name string, rects ...geom.Rect) int {
+	b.d.Regions = append(b.d.Regions, Region{Name: name, Rects: rects})
+	return len(b.d.Regions) - 1
+}
+
+// AddModule appends a hierarchy module under the given parent (use
+// NoModule only for the root, which must be added first) and returns its
+// index.
+func (b *Builder) AddModule(name string, parent int, region int) int {
+	mi := len(b.d.Modules)
+	if parent == NoModule && mi != 0 {
+		b.errs = append(b.errs, fmt.Errorf("db: module %q declared as second root", name))
+	}
+	if parent != NoModule {
+		if parent < 0 || parent >= mi {
+			b.errs = append(b.errs, fmt.Errorf("db: module %q has invalid parent %d", name, parent))
+			return -1
+		}
+		b.d.Modules[parent].Children = append(b.d.Modules[parent].Children, mi)
+	}
+	b.d.Modules = append(b.d.Modules, Module{Name: name, Parent: parent, Region: region})
+	return mi
+}
+
+// AssignModule puts a cell under a module.
+func (b *Builder) AssignModule(cell, module int) {
+	if cell < 0 || cell >= len(b.d.Cells) || module < 0 || module >= len(b.d.Modules) {
+		b.errs = append(b.errs, fmt.Errorf("db: AssignModule(%d, %d) out of range", cell, module))
+		return
+	}
+	b.d.Cells[cell].Module = module
+	b.d.Modules[module].Cells = append(b.d.Modules[module].Cells, cell)
+}
+
+// MakeRows fills the die with uniform standard-cell rows of the given
+// height and site width.
+func (b *Builder) MakeRows(rowHeight, siteWidth float64) {
+	die := b.d.Die
+	n := int(die.H() / rowHeight)
+	sites := int(die.W() / siteWidth)
+	for i := 0; i < n; i++ {
+		b.d.Rows = append(b.d.Rows, Row{
+			Y:         die.Lo.Y + float64(i)*rowHeight,
+			Height:    rowHeight,
+			X:         die.Lo.X,
+			SiteWidth: siteWidth,
+			NumSites:  sites,
+		})
+	}
+}
+
+// SetCellPos places a cell during construction (used for fixed objects
+// whose positions later construction steps depend on).
+func (b *Builder) SetCellPos(cell int, p geom.Point) {
+	if cell < 0 || cell >= len(b.d.Cells) {
+		b.errs = append(b.errs, fmt.Errorf("db: SetCellPos(%d) out of range", cell))
+		return
+	}
+	b.d.Cells[cell].Pos = p
+}
+
+// CellRect returns the current rectangle of a cell under construction.
+func (b *Builder) CellRect(cell int) geom.Rect { return b.d.Cells[cell].Rect() }
+
+// CellDims returns the base dimensions of a cell under construction.
+func (b *Builder) CellDims(cell int) (w, h float64) {
+	return b.d.Cells[cell].BaseW, b.d.Cells[cell].BaseH
+}
+
+// SetRoute attaches routing-grid information.
+func (b *Builder) SetRoute(r *RouteInfo) { b.d.Route = r }
+
+// Design returns the assembled design after validating it; construction
+// errors collected along the way are returned first.
+func (b *Builder) Design() (*Design, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := b.d.Validate(); err != nil {
+		return nil, err
+	}
+	return b.d, nil
+}
+
+// MustDesign is Design for tests and generators with known-good input;
+// it panics on error.
+func (b *Builder) MustDesign() *Design {
+	d, err := b.Design()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,295 @@
+// Package db holds the placement design database: cells, nets, pins, rows,
+// fence regions and the logical hierarchy tree, together with validation,
+// statistics and the geometric queries (pin positions, cell rectangles,
+// HPWL) that every placement stage shares.
+//
+// The database is deliberately index-based: cells, pins, nets, regions and
+// modules are identified by their position in the corresponding Design
+// slice. This keeps the hot placement loops allocation-free and makes
+// cloning a design a set of slice copies.
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// CellKind classifies a node in the netlist.
+type CellKind int
+
+const (
+	// StdCell is a standard cell: movable (unless fixed) and row-aligned
+	// after legalization.
+	StdCell CellKind = iota
+	// Macro is a large pre-designed block; it may be movable during global
+	// placement and is legalized before standard cells.
+	Macro
+	// Terminal is an I/O pad or other fixed pin-bearing object that does
+	// not occupy placement area within rows.
+	Terminal
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case StdCell:
+		return "stdcell"
+	case Macro:
+		return "macro"
+	case Terminal:
+		return "terminal"
+	default:
+		return fmt.Sprintf("CellKind(%d)", int(k))
+	}
+}
+
+// Orient is one of the eight Bookshelf placement orientations. N is the
+// reference orientation in which pin offsets are specified.
+type Orient int
+
+const (
+	N  Orient = iota // reference
+	S                // rotated 180°
+	E                // rotated 90° clockwise
+	W                // rotated 90° counterclockwise
+	FN               // mirrored about the y axis
+	FS               // mirrored about the x axis
+	FE               // E then mirrored about the y axis
+	FW               // W then mirrored about the y axis
+)
+
+var orientNames = [...]string{"N", "S", "E", "W", "FN", "FS", "FE", "FW"}
+
+func (o Orient) String() string {
+	if o >= 0 && int(o) < len(orientNames) {
+		return orientNames[o]
+	}
+	return fmt.Sprintf("Orient(%d)", int(o))
+}
+
+// ParseOrient converts a Bookshelf orientation token. It returns N for
+// unknown tokens along with false.
+func ParseOrient(s string) (Orient, bool) {
+	for i, n := range orientNames {
+		if n == s {
+			return Orient(i), true
+		}
+	}
+	return N, false
+}
+
+// Rotated reports whether the orientation swaps the cell's width and height.
+func (o Orient) Rotated() bool { return o == E || o == W || o == FE || o == FW }
+
+// NoRegion marks a cell or module that is not constrained to a fence region.
+const NoRegion = -1
+
+// NoModule marks a cell that belongs directly to the hierarchy root.
+const NoModule = -1
+
+// Cell is one placeable (or fixed) object.
+type Cell struct {
+	Name string
+	Kind CellKind
+	// BaseW and BaseH are the dimensions in the reference N orientation.
+	BaseW, BaseH float64
+	// Pos is the lower-left corner of the cell's current bounding box.
+	Pos    geom.Point
+	Orient Orient
+	Fixed  bool
+	// Region is the index of the fence region constraining this cell, or
+	// NoRegion.
+	Region int
+	// Module is the index of the hierarchy module that directly owns this
+	// cell, or NoModule for root-level cells.
+	Module int
+	// Inflate is the routability inflation ratio applied to the cell's
+	// area during density accounting; 1 means no inflation. The geometric
+	// footprint used for legality is never inflated.
+	Inflate float64
+	// Pins lists the design-wide pin indices attached to this cell.
+	Pins []int
+}
+
+// W returns the current width, accounting for orientation.
+func (c *Cell) W() float64 {
+	if c.Orient.Rotated() {
+		return c.BaseH
+	}
+	return c.BaseW
+}
+
+// H returns the current height, accounting for orientation.
+func (c *Cell) H() float64 {
+	if c.Orient.Rotated() {
+		return c.BaseW
+	}
+	return c.BaseH
+}
+
+// Area returns the geometric area of the cell.
+func (c *Cell) Area() float64 { return c.BaseW * c.BaseH }
+
+// InflatedArea returns the density-accounting area after routability
+// inflation. Cells constructed without SetInflate default to ratio 1.
+func (c *Cell) InflatedArea() float64 {
+	if c.Inflate <= 1 {
+		return c.Area()
+	}
+	return c.Area() * c.Inflate
+}
+
+// Rect returns the cell's current bounding rectangle.
+func (c *Cell) Rect() geom.Rect {
+	return geom.Rect{Lo: c.Pos, Hi: geom.Point{X: c.Pos.X + c.W(), Y: c.Pos.Y + c.H()}}
+}
+
+// Center returns the cell's current center point.
+func (c *Cell) Center() geom.Point {
+	return geom.Point{X: c.Pos.X + c.W()/2, Y: c.Pos.Y + c.H()/2}
+}
+
+// SetCenter moves the cell so its center is at p.
+func (c *Cell) SetCenter(p geom.Point) {
+	c.Pos = geom.Point{X: p.X - c.W()/2, Y: p.Y - c.H()/2}
+}
+
+// Movable reports whether the placer may move this cell.
+func (c *Cell) Movable() bool { return !c.Fixed && c.Kind != Terminal }
+
+// OrientOffset transforms a pin offset given in the reference N orientation
+// into the cell's current orientation. The offset is measured from the
+// cell's lower-left corner.
+func (c *Cell) OrientOffset(off geom.Point) geom.Point {
+	w, h := c.BaseW, c.BaseH
+	switch c.Orient {
+	case N:
+		return off
+	case S:
+		return geom.Point{X: w - off.X, Y: h - off.Y}
+	case E:
+		return geom.Point{X: off.Y, Y: w - off.X}
+	case W:
+		return geom.Point{X: h - off.Y, Y: off.X}
+	case FN:
+		return geom.Point{X: w - off.X, Y: off.Y}
+	case FS:
+		return geom.Point{X: off.X, Y: h - off.Y}
+	case FE:
+		return geom.Point{X: h - off.Y, Y: w - off.X}
+	case FW:
+		return geom.Point{X: off.Y, Y: off.X}
+	default:
+		return off
+	}
+}
+
+// Pin is one connection point. Offset is relative to the owning cell's
+// lower-left corner in the reference N orientation; use Design.PinPos for
+// the absolute, orientation-corrected position.
+type Pin struct {
+	Cell   int
+	Net    int
+	Offset geom.Point
+}
+
+// Net is a set of electrically connected pins.
+type Net struct {
+	Name   string
+	Weight float64
+	Pins   []int
+}
+
+// Degree returns the number of pins on the net.
+func (n *Net) Degree() int { return len(n.Pins) }
+
+// Row is one standard-cell placement row.
+type Row struct {
+	Y         float64 // bottom edge
+	Height    float64
+	X         float64 // left edge of the first site
+	SiteWidth float64
+	NumSites  int
+}
+
+// Right returns the x coordinate of the end of the row.
+func (r *Row) Right() float64 { return r.X + float64(r.NumSites)*r.SiteWidth }
+
+// Rect returns the row's occupied rectangle.
+func (r *Row) Rect() geom.Rect {
+	return geom.NewRect(r.X, r.Y, r.Right(), r.Y+r.Height)
+}
+
+// Region is a fence: every cell assigned to it must be placed with its
+// footprint inside the union of Rects.
+type Region struct {
+	Name  string
+	Rects []geom.Rect
+}
+
+// Contains reports whether r (a cell footprint) lies entirely inside one of
+// the fence rectangles. Fences in this database are unions of disjoint
+// rectangles, and a legal cell must sit wholly inside a single one.
+func (rg *Region) Contains(r geom.Rect) bool {
+	for _, fr := range rg.Rects {
+		if fr.ContainsRect(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsPoint reports whether p lies inside the fence.
+func (rg *Region) ContainsPoint(p geom.Point) bool {
+	for _, fr := range rg.Rects {
+		if fr.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Area returns the total fence area, assuming disjoint rectangles.
+func (rg *Region) Area() float64 {
+	var a float64
+	for _, fr := range rg.Rects {
+		a += fr.Area()
+	}
+	return a
+}
+
+// BoundingBox returns the bounding box of all fence rectangles.
+func (rg *Region) BoundingBox() geom.Rect {
+	var bb geom.Rect
+	for _, fr := range rg.Rects {
+		bb = bb.Union(fr)
+	}
+	return bb
+}
+
+// Nearest returns the point inside the fence nearest to p (Euclidean).
+func (rg *Region) Nearest(p geom.Point) geom.Point {
+	best := p
+	bestD := -1.0
+	for _, fr := range rg.Rects {
+		q := fr.ClampPoint(p)
+		d := p.Dist(q)
+		if bestD < 0 || d < bestD {
+			best, bestD = q, d
+		}
+	}
+	return best
+}
+
+// Module is one node of the logical hierarchy tree. The root has index 0
+// and Parent == -1.
+type Module struct {
+	Name     string
+	Parent   int
+	Children []int
+	// Cells lists the cells directly owned by this module (not those of
+	// descendants).
+	Cells []int
+	// Region is the fence assigned to this module's cells, or NoRegion.
+	Region int
+}

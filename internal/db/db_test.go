@@ -1,0 +1,346 @@
+package db
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// tiny builds a small two-cell, one-net design used across tests.
+func tiny(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("tiny", geom.NewRect(0, 0, 100, 100))
+	a := b.AddStdCell("a", 4, 2)
+	c := b.AddStdCell("c", 6, 2)
+	term := b.AddTerminal("p0", geom.Point{X: 0, Y: 50})
+	b.AddNet("n0", 1, b.CenterConn(a), b.CenterConn(c), Conn{Cell: term})
+	b.MakeRows(2, 1)
+	d, err := b.Design()
+	if err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	return d
+}
+
+func TestBuilderWiring(t *testing.T) {
+	d := tiny(t)
+	if len(d.Cells) != 3 || len(d.Nets) != 1 || len(d.Pins) != 3 {
+		t.Fatalf("unexpected sizes: %d cells %d nets %d pins", len(d.Cells), len(d.Nets), len(d.Pins))
+	}
+	if got := d.CellIndex("c"); got != 1 {
+		t.Errorf("CellIndex(c) = %d", got)
+	}
+	if got := d.CellIndex("nope"); got != -1 {
+		t.Errorf("CellIndex(nope) = %d", got)
+	}
+	if len(d.Rows) != 50 {
+		t.Errorf("expected 50 rows, got %d", len(d.Rows))
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPinPosAndHPWL(t *testing.T) {
+	d := tiny(t)
+	d.Cells[0].Pos = geom.Point{X: 10, Y: 10} // center (12, 11)
+	d.Cells[1].Pos = geom.Point{X: 20, Y: 30} // center (23, 31)
+	// Terminal at (0, 50).
+	want := (23.0 - 0.0) + (50.0 - 11.0)
+	if got := d.HPWL(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("HPWL = %v, want %v", got, want)
+	}
+	bb := d.NetBBox(0)
+	if bb.Lo != (geom.Point{X: 0, Y: 11}) || bb.Hi != (geom.Point{X: 23, Y: 50}) {
+		t.Errorf("NetBBox = %v", bb)
+	}
+}
+
+func TestOrientOffsetAllOrients(t *testing.T) {
+	// A 4x2 cell with a pin at (1, 0.5): the transformed offset must stay
+	// within the oriented footprint for all eight orientations.
+	c := Cell{BaseW: 4, BaseH: 2}
+	off := geom.Point{X: 1, Y: 0.5}
+	for o := N; o <= FW; o++ {
+		c.Orient = o
+		p := c.OrientOffset(off)
+		if p.X < 0 || p.X > c.W() || p.Y < 0 || p.Y > c.H() {
+			t.Errorf("orient %v: offset %v escapes %gx%g footprint", o, p, c.W(), c.H())
+		}
+	}
+}
+
+func TestOrientOffsetSpecificValues(t *testing.T) {
+	c := Cell{BaseW: 4, BaseH: 2}
+	off := geom.Point{X: 1, Y: 0.5}
+	cases := []struct {
+		o    Orient
+		want geom.Point
+	}{
+		{N, geom.Point{X: 1, Y: 0.5}},
+		{S, geom.Point{X: 3, Y: 1.5}},
+		{E, geom.Point{X: 0.5, Y: 3}},
+		{W, geom.Point{X: 1.5, Y: 1}},
+		{FN, geom.Point{X: 3, Y: 0.5}},
+		{FS, geom.Point{X: 1, Y: 1.5}},
+	}
+	for _, cse := range cases {
+		c.Orient = cse.o
+		if got := c.OrientOffset(off); got != cse.want {
+			t.Errorf("orient %v: got %v want %v", cse.o, got, cse.want)
+		}
+	}
+}
+
+func TestOrientDims(t *testing.T) {
+	c := Cell{BaseW: 4, BaseH: 2}
+	for _, o := range []Orient{N, S, FN, FS} {
+		c.Orient = o
+		if c.W() != 4 || c.H() != 2 {
+			t.Errorf("orient %v should not rotate dims", o)
+		}
+	}
+	for _, o := range []Orient{E, W, FE, FW} {
+		c.Orient = o
+		if c.W() != 2 || c.H() != 4 {
+			t.Errorf("orient %v should rotate dims", o)
+		}
+	}
+}
+
+func TestParseOrient(t *testing.T) {
+	for o := N; o <= FW; o++ {
+		got, ok := ParseOrient(o.String())
+		if !ok || got != o {
+			t.Errorf("ParseOrient(%v) = %v, %v", o, got, ok)
+		}
+	}
+	if _, ok := ParseOrient("XYZ"); ok {
+		t.Error("ParseOrient should reject unknown tokens")
+	}
+}
+
+func TestCellCenterRoundTrip(t *testing.T) {
+	c := Cell{BaseW: 3, BaseH: 5}
+	c.SetCenter(geom.Point{X: 10, Y: 20})
+	if got := c.Center(); got != (geom.Point{X: 10, Y: 20}) {
+		t.Errorf("Center after SetCenter = %v", got)
+	}
+	if c.Pos != (geom.Point{X: 8.5, Y: 17.5}) {
+		t.Errorf("Pos = %v", c.Pos)
+	}
+}
+
+func TestRegionQueries(t *testing.T) {
+	rg := Region{Name: "f", Rects: []geom.Rect{
+		geom.NewRect(0, 0, 10, 10),
+		geom.NewRect(20, 0, 30, 10),
+	}}
+	if !rg.Contains(geom.NewRect(1, 1, 5, 5)) {
+		t.Error("inner rect should be contained")
+	}
+	if rg.Contains(geom.NewRect(8, 1, 22, 5)) {
+		t.Error("rect spanning the gap must not be contained")
+	}
+	if rg.Area() != 200 {
+		t.Errorf("Area = %v", rg.Area())
+	}
+	if got := rg.BoundingBox(); got != geom.NewRect(0, 0, 30, 10) {
+		t.Errorf("BoundingBox = %v", got)
+	}
+	near := rg.Nearest(geom.Point{X: 15, Y: 5})
+	if near != (geom.Point{X: 10, Y: 5}) && near != (geom.Point{X: 20, Y: 5}) {
+		t.Errorf("Nearest = %v", near)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	b := NewBuilder("h", geom.NewRect(0, 0, 100, 100))
+	root := b.AddModule("top", NoModule, NoRegion)
+	rgn := b.AddRegion("fence0", geom.NewRect(0, 0, 50, 50))
+	cpu := b.AddModule("cpu", root, rgn)
+	alu := b.AddModule("alu", cpu, NoRegion)
+	c0 := b.AddStdCell("c0", 2, 2)
+	c1 := b.AddStdCell("c1", 2, 2)
+	b.AssignModule(c0, alu)
+	b.AssignModule(c1, root)
+	b.AddNet("n", 1, b.CenterConn(c0), b.CenterConn(c1))
+	d, err := b.Design()
+	if err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	if got := d.CellRegion(c0); got != rgn {
+		t.Errorf("CellRegion(c0) = %d, want %d (inherited from cpu)", got, rgn)
+	}
+	if got := d.CellRegion(c1); got != NoRegion {
+		t.Errorf("CellRegion(c1) = %d, want NoRegion", got)
+	}
+	if got := d.ModuleDepth(alu); got != 2 {
+		t.Errorf("ModuleDepth(alu) = %d", got)
+	}
+	if got := d.ModulePath(alu); got != "/top/cpu/alu" {
+		t.Errorf("ModulePath = %q", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := tiny(t)
+	d.Pins[0].Net = 99
+	if err := d.Validate(); err == nil {
+		t.Error("expected validation error for bad net reference")
+	}
+	d = tiny(t)
+	d.Pins[0].Cell = -1
+	if err := d.Validate(); err == nil {
+		t.Error("expected validation error for bad cell reference")
+	}
+	d = tiny(t)
+	d.Cells[0].Pins = []int{1} // pin owned by another cell
+	if err := d.Validate(); err == nil {
+		t.Error("expected validation error for stolen pin")
+	}
+}
+
+func TestOverlapViolations(t *testing.T) {
+	b := NewBuilder("ov", geom.NewRect(0, 0, 100, 100))
+	a := b.AddStdCell("a", 4, 4)
+	c := b.AddStdCell("b", 4, 4)
+	e := b.AddStdCell("c", 4, 4)
+	d := b.MustDesign()
+	d.Cells[a].Pos = geom.Point{X: 0, Y: 0}
+	d.Cells[c].Pos = geom.Point{X: 2, Y: 2}  // overlaps a
+	d.Cells[e].Pos = geom.Point{X: 50, Y: 0} // far away
+	if got := d.OverlapViolations(); got != 1 {
+		t.Errorf("OverlapViolations = %d, want 1", got)
+	}
+	// Abutting cells must not count as overlapping.
+	d.Cells[c].Pos = geom.Point{X: 4, Y: 0}
+	d.Cells[e].Pos = geom.Point{X: 8, Y: 0}
+	if got := d.OverlapViolations(); got != 0 {
+		t.Errorf("OverlapViolations for abutting cells = %d, want 0", got)
+	}
+}
+
+func TestFenceViolationsAndOutOfDie(t *testing.T) {
+	b := NewBuilder("fv", geom.NewRect(0, 0, 100, 100))
+	rgn := b.AddRegion("f", geom.NewRect(0, 0, 20, 20))
+	ci := b.AddStdCell("a", 4, 4)
+	d := b.MustDesign()
+	d.Cells[ci].Region = rgn
+	d.Cells[ci].Pos = geom.Point{X: 50, Y: 50}
+	if got := d.FenceViolations(); got != 1 {
+		t.Errorf("FenceViolations = %d, want 1", got)
+	}
+	d.Cells[ci].Pos = geom.Point{X: 10, Y: 10}
+	if got := d.FenceViolations(); got != 0 {
+		t.Errorf("FenceViolations inside = %d, want 0", got)
+	}
+	d.Cells[ci].Pos = geom.Point{X: 99, Y: 99}
+	if got := d.OutOfDie(); got != 1 {
+		t.Errorf("OutOfDie = %d, want 1", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	b := NewBuilder("u", geom.NewRect(0, 0, 10, 10))
+	b.AddStdCell("a", 5, 2)          // movable, area 10
+	b.AddMacro("m", 5, 5, true)      // fixed, area 25
+	b.AddTerminal("t", geom.Point{}) // no area
+	d := b.MustDesign()
+	d.Cells[1].Pos = geom.Point{X: 0, Y: 0}
+	want := 10.0 / (100.0 - 25.0)
+	if got := d.Utilization(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := tiny(t)
+	d.Cells[0].Pos = geom.Point{X: 5, Y: 5}
+	cl := d.Clone()
+	cl.Cells[0].Pos = geom.Point{X: 99, Y: 99}
+	cl.Nets[0].Pins[0] = 2
+	cl.Cells[0].Pins = append(cl.Cells[0].Pins, 7)
+	if d.Cells[0].Pos != (geom.Point{X: 5, Y: 5}) {
+		t.Error("clone position write leaked into original")
+	}
+	if d.Nets[0].Pins[0] == 2 && len(d.Nets[0].Pins) > 0 && d.Nets[0].Pins[0] != 0 {
+		t.Error("clone net pin write leaked into original")
+	}
+	if len(d.Cells[0].Pins) != 1 {
+		t.Error("clone cell pin append leaked into original")
+	}
+}
+
+func TestCopyPositionsFrom(t *testing.T) {
+	d := tiny(t)
+	cl := d.Clone()
+	cl.Cells[0].Pos = geom.Point{X: 42, Y: 24}
+	cl.Cells[0].Orient = FN
+	if err := d.CopyPositionsFrom(cl); err != nil {
+		t.Fatalf("CopyPositionsFrom: %v", err)
+	}
+	if d.Cells[0].Pos != (geom.Point{X: 42, Y: 24}) || d.Cells[0].Orient != FN {
+		t.Error("positions not copied")
+	}
+	other := &Design{Cells: make([]Cell, 1)}
+	if err := d.CopyPositionsFrom(other); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := tiny(t)
+	s := d.ComputeStats()
+	if s.NumStdCells != 2 || s.NumTerms != 1 || s.NumNets != 1 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	if s.MaxDegree != 3 || math.Abs(s.AvgDegree-3) > 1e-9 {
+		t.Errorf("degree stats wrong: %+v", s)
+	}
+	if s.String() == "" || s.TableRow() == "" || StatsTableHeader() == "" {
+		t.Error("stats renderers returned empty strings")
+	}
+}
+
+// Property: OrientOffset keeps any in-footprint offset inside the oriented
+// footprint, for every orientation.
+func TestOrientOffsetProperty(t *testing.T) {
+	f := func(w, h, fx, fy float64) bool {
+		w = 1 + math.Abs(math.Mod(w, 50))
+		h = 1 + math.Abs(math.Mod(h, 50))
+		fx = math.Abs(math.Mod(fx, 1))
+		fy = math.Abs(math.Mod(fy, 1))
+		c := Cell{BaseW: w, BaseH: h}
+		off := geom.Point{X: fx * w, Y: fy * h}
+		for o := N; o <= FW; o++ {
+			c.Orient = o
+			p := c.OrientOffset(off)
+			if p.X < -1e-9 || p.X > c.W()+1e-9 || p.Y < -1e-9 || p.Y > c.H()+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: S is an involution (applying the S transform twice returns the
+// original offset).
+func TestOrientSInvolution(t *testing.T) {
+	f := func(fx, fy float64) bool {
+		fx = math.Abs(math.Mod(fx, 1))
+		fy = math.Abs(math.Mod(fy, 1))
+		c := Cell{BaseW: 7, BaseH: 3, Orient: S}
+		off := geom.Point{X: fx * 7, Y: fy * 3}
+		p := c.OrientOffset(c.OrientOffset(off))
+		return math.Abs(p.X-off.X) < 1e-9 && math.Abs(p.Y-off.Y) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

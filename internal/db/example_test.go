@@ -1,0 +1,33 @@
+package db_test
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+func ExampleBuilder() {
+	// A two-cell design with one I/O pad, rows, and a fenced module.
+	b := db.NewBuilder("demo", geom.NewRect(0, 0, 100, 100))
+	top := b.AddModule("top", db.NoModule, db.NoRegion)
+	fence := b.AddRegion("cpu_fence", geom.NewRect(0, 0, 40, 40))
+	cpu := b.AddModule("cpu", top, fence)
+
+	inv := b.AddStdCell("inv0", 4, 10)
+	buf := b.AddStdCell("buf0", 6, 10)
+	pad := b.AddTerminal("pad0", geom.Point{X: 0, Y: 50})
+	b.AssignModule(inv, cpu)
+	b.AddNet("n0", 1, db.Conn{Cell: pad}, b.CenterConn(inv), b.CenterConn(buf))
+	b.MakeRows(10, 1)
+
+	d, err := b.Design()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d.ComputeStats())
+	fmt.Println("inv0 fence:", d.Regions[d.CellRegion(inv)].Name)
+	// Output:
+	// design demo: 3 cells (2 std, 0 macro [0 movable], 1 terminal), 1 nets (avg deg 3.00, max 3), 3 pins, 1 fences, 2 modules, util 0.010, die 100x100
+	// inv0 fence: cpu_fence
+}

@@ -1,0 +1,92 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a design for reporting and benchmark tables.
+type Stats struct {
+	Name        string
+	NumCells    int
+	NumStdCells int
+	NumMacros   int
+	NumMovMacro int
+	NumTerms    int
+	NumFixed    int
+	NumNets     int
+	NumPins     int
+	NumRegions  int
+	NumModules  int
+	MaxDegree   int
+	AvgDegree   float64
+	Utilization float64
+	DieW, DieH  float64
+}
+
+// ComputeStats gathers summary statistics for the design.
+func (d *Design) ComputeStats() Stats {
+	s := Stats{
+		Name:       d.Name,
+		NumCells:   len(d.Cells),
+		NumNets:    len(d.Nets),
+		NumPins:    len(d.Pins),
+		NumRegions: len(d.Regions),
+		NumModules: len(d.Modules),
+		DieW:       d.Die.W(),
+		DieH:       d.Die.H(),
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		switch c.Kind {
+		case StdCell:
+			s.NumStdCells++
+		case Macro:
+			s.NumMacros++
+			if c.Movable() {
+				s.NumMovMacro++
+			}
+		case Terminal:
+			s.NumTerms++
+		}
+		if c.Fixed {
+			s.NumFixed++
+		}
+	}
+	var degSum int
+	for i := range d.Nets {
+		deg := d.Nets[i].Degree()
+		degSum += deg
+		if deg > s.MaxDegree {
+			s.MaxDegree = deg
+		}
+	}
+	if len(d.Nets) > 0 {
+		s.AvgDegree = float64(degSum) / float64(len(d.Nets))
+	}
+	s.Utilization = d.Utilization()
+	return s
+}
+
+// String renders the statistics as a one-design report block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s: %d cells (%d std, %d macro [%d movable], %d terminal), ",
+		s.Name, s.NumCells, s.NumStdCells, s.NumMacros, s.NumMovMacro, s.NumTerms)
+	fmt.Fprintf(&b, "%d nets (avg deg %.2f, max %d), %d pins, %d fences, %d modules, util %.3f, die %gx%g",
+		s.NumNets, s.AvgDegree, s.MaxDegree, s.NumPins, s.NumRegions, s.NumModules, s.Utilization, s.DieW, s.DieH)
+	return b.String()
+}
+
+// TableRow renders the statistics as a row for the benchmark-statistics
+// table (Table 1 in EXPERIMENTS.md).
+func (s Stats) TableRow() string {
+	return fmt.Sprintf("%-10s %8d %8d %6d %6d %8d %6.2f %5d %7.3f",
+		s.Name, s.NumStdCells, s.NumNets, s.NumMacros, s.NumTerms, s.NumPins, s.AvgDegree, s.NumRegions, s.Utilization)
+}
+
+// TableHeader returns the header matching TableRow.
+func StatsTableHeader() string {
+	return fmt.Sprintf("%-10s %8s %8s %6s %6s %8s %6s %5s %7s",
+		"design", "stdcells", "nets", "macro", "term", "pins", "deg", "fence", "util")
+}

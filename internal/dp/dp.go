@@ -1,0 +1,484 @@
+// Package dp implements detailed placement on a legalized design: global
+// swap (exchange same-size cells across the die toward their optimal
+// regions), local reordering (permute small windows of row neighbours),
+// and single-row shifting (slide each cell to its net-optimal x within the
+// free gap). All moves are HPWL-greedy and fence-guarded: a move that
+// would take a cell out of its fence, or an outsider into one, is
+// rejected, so the legality invariants from the legalizer are preserved.
+package dp
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// Options tunes detailed placement.
+type Options struct {
+	// Passes is the number of full optimization sweeps (default 2).
+	Passes int
+	// WindowSize is the local-reorder window (default 3; cost grows
+	// factorially).
+	WindowSize int
+	// SwapRadius is the neighbourhood, in row heights, searched for swap
+	// partners around a cell's optimal position (default 10).
+	SwapRadius float64
+
+	// Congestion, when non-nil, makes detailed placement routability-
+	// aware: moves into tiles whose utilization exceeds 1 pay a penalty
+	// proportional to the overload, so HPWL-greedy moves stop piling
+	// cells into routed hot spots. The map is indexed [ty*CongNX+tx].
+	Congestion []float64
+	CongNX     int
+	// CongTile locates the congestion grid over the die.
+	CongOrigin  geom.Point
+	CongTileW   float64
+	CongTileH   float64
+	CongPenalty float64 // cost per unit overload per unit cell area (default 0.5)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	if o.WindowSize <= 1 {
+		o.WindowSize = 3
+	}
+	if o.SwapRadius <= 0 {
+		o.SwapRadius = 10
+	}
+	if o.CongPenalty <= 0 {
+		o.CongPenalty = 0.5
+	}
+	return o
+}
+
+// Result reports what detailed placement achieved.
+type Result struct {
+	Before, After float64
+	Swaps         int
+	Reorders      int
+	Shifts        int
+}
+
+// Optimize runs the detailed-placement passes over the design in place.
+func Optimize(d *db.Design, opt Options) Result {
+	opt = opt.withDefaults()
+	o := &optimizer{d: d, opt: opt}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
+			o.obstacles = append(o.obstacles, c.Rect())
+		}
+	}
+	res := Result{Before: d.HPWL()}
+	for p := 0; p < opt.Passes; p++ {
+		res.Swaps += o.globalSwap()
+		res.Reorders += o.localReorder()
+		res.Shifts += o.rowShift()
+	}
+	res.After = d.HPWL()
+	return res
+}
+
+type optimizer struct {
+	d         *db.Design
+	opt       Options
+	obstacles []geom.Rect
+}
+
+// gapBounds narrows the free interval [left, right] for a cell occupying
+// the vertical band [y, y+h) so it cannot slide into a fixed obstacle.
+// The cell currently sits at x (legally, outside every obstacle).
+func (o *optimizer) gapBounds(left, right, y, h, x float64) (float64, float64) {
+	for _, ob := range o.obstacles {
+		if ob.Hi.Y <= y || ob.Lo.Y >= y+h {
+			continue
+		}
+		if ob.Hi.X <= x && ob.Hi.X > left {
+			left = ob.Hi.X
+		}
+		if ob.Lo.X >= x && ob.Lo.X < right {
+			right = ob.Lo.X
+		}
+	}
+	return left, right
+}
+
+// netCost returns the summed HPWL of all nets touching any of the cells,
+// plus (when routability-aware) a congestion penalty for each cell sitting
+// in an overloaded routing tile.
+func (o *optimizer) netCost(cells ...int) float64 {
+	seen := map[int]bool{}
+	var total float64
+	for _, ci := range cells {
+		for _, pi := range o.d.Cells[ci].Pins {
+			ni := o.d.Pins[pi].Net
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			w := o.d.Nets[ni].Weight
+			if w == 0 {
+				w = 1
+			}
+			total += w * o.d.NetHPWL(ni)
+		}
+		total += o.congCost(ci)
+	}
+	return total
+}
+
+// congCost is the congestion penalty of the cell's current tile: overload
+// beyond 100% utilization costs CongPenalty per unit of cell width (the
+// width proxy keeps the penalty commensurate with HPWL units).
+func (o *optimizer) congCost(ci int) float64 {
+	opt := &o.opt
+	if opt.Congestion == nil || opt.CongNX <= 0 || opt.CongTileW <= 0 || opt.CongTileH <= 0 {
+		return 0
+	}
+	c := &o.d.Cells[ci]
+	ctr := c.Center()
+	tx := int((ctr.X - opt.CongOrigin.X) / opt.CongTileW)
+	ty := int((ctr.Y - opt.CongOrigin.Y) / opt.CongTileH)
+	ny := len(opt.Congestion) / opt.CongNX
+	if tx < 0 || ty < 0 || tx >= opt.CongNX || ty >= ny {
+		return 0
+	}
+	over := opt.Congestion[ty*opt.CongNX+tx] - 1
+	if over <= 0 {
+		return 0
+	}
+	return opt.CongPenalty * over * c.W() * 10
+}
+
+// optimalPoint returns the center of the cell's nets' bounding boxes,
+// excluding the cell's own pins — a cheap optimal-region proxy.
+func (o *optimizer) optimalPoint(ci int) (geom.Point, bool) {
+	d := o.d
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	found := false
+	for _, pi := range d.Cells[ci].Pins {
+		ni := d.Pins[pi].Net
+		for _, qi := range d.Nets[ni].Pins {
+			if d.Pins[qi].Cell == ci {
+				continue
+			}
+			p := d.PinPos(qi)
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+			found = true
+		}
+	}
+	if !found {
+		return geom.Point{}, false
+	}
+	return geom.Point{X: (minX + maxX) / 2, Y: (minY + maxY) / 2}, true
+}
+
+// fenceOK verifies the cell footprint against its fence (both directions:
+// members must be inside, outsiders outside every fence).
+func (o *optimizer) fenceOK(ci int, r geom.Rect) bool {
+	rg := o.d.CellRegion(ci)
+	if rg != db.NoRegion {
+		return o.d.Regions[rg].Contains(r)
+	}
+	for gi := range o.d.Regions {
+		for _, fr := range o.d.Regions[gi].Rects {
+			if fr.Overlaps(r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// movableStd lists movable standard cells.
+func (o *optimizer) movableStd() []int {
+	var out []int
+	for ci := range o.d.Cells {
+		c := &o.d.Cells[ci]
+		if c.Movable() && c.Kind == db.StdCell {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// globalSwap exchanges same-footprint cells when that reduces HPWL.
+func (o *optimizer) globalSwap() int {
+	d := o.d
+	cells := o.movableStd()
+	// Spatial index: bucket cells by position on a coarse grid.
+	rowH := d.RowHeight()
+	if rowH <= 0 {
+		rowH = 1
+	}
+	bucket := rowH * o.opt.SwapRadius
+	type bkey struct{ x, y int }
+	idx := make(map[bkey][]int)
+	keyOf := func(p geom.Point) bkey {
+		return bkey{int(p.X / bucket), int(p.Y / bucket)}
+	}
+	for _, ci := range cells {
+		k := keyOf(d.Cells[ci].Pos)
+		idx[k] = append(idx[k], ci)
+	}
+	swaps := 0
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		want, ok := o.optimalPoint(ci)
+		if !ok {
+			continue
+		}
+		if want.Dist(c.Center()) < rowH {
+			continue // already near optimal
+		}
+		// Find a same-size partner near the optimal point.
+		k := keyOf(want)
+		best := -1
+		bestGain := 1e-9
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, cj := range idx[bkey{k.x + dx, k.y + dy}] {
+					if cj == ci {
+						continue
+					}
+					p := &d.Cells[cj]
+					if p.W() != c.W() || p.H() != c.H() {
+						continue
+					}
+					// Fence check both ways at the destination rects.
+					if !o.fenceOK(ci, p.Rect()) || !o.fenceOK(cj, c.Rect()) {
+						continue
+					}
+					before := o.netCost(ci, cj)
+					d.Cells[ci].Pos, d.Cells[cj].Pos = d.Cells[cj].Pos, d.Cells[ci].Pos
+					after := o.netCost(ci, cj)
+					d.Cells[ci].Pos, d.Cells[cj].Pos = d.Cells[cj].Pos, d.Cells[ci].Pos
+					if gain := before - after; gain > bestGain {
+						bestGain = gain
+						best = cj
+					}
+				}
+			}
+		}
+		if best >= 0 {
+			ki := keyOf(d.Cells[ci].Pos)
+			kj := keyOf(d.Cells[best].Pos)
+			d.Cells[ci].Pos, d.Cells[best].Pos = d.Cells[best].Pos, d.Cells[ci].Pos
+			swaps++
+			if ki != kj {
+				idx[ki] = replaceIn(idx[ki], ci, best)
+				idx[kj] = replaceIn(idx[kj], best, ci)
+			}
+		}
+	}
+	return swaps
+}
+
+func replaceIn(s []int, old, new int) []int {
+	for i, v := range s {
+		if v == old {
+			s[i] = new
+			break
+		}
+	}
+	return s
+}
+
+// rowsOf groups movable std cells by row y and sorts each row by x.
+func (o *optimizer) rowsOf() map[float64][]int {
+	rows := make(map[float64][]int)
+	for _, ci := range o.movableStd() {
+		rows[o.d.Cells[ci].Pos.Y] = append(rows[o.d.Cells[ci].Pos.Y], ci)
+	}
+	for y := range rows {
+		r := rows[y]
+		sort.Slice(r, func(a, b int) bool {
+			if o.d.Cells[r[a]].Pos.X != o.d.Cells[r[b]].Pos.X {
+				return o.d.Cells[r[a]].Pos.X < o.d.Cells[r[b]].Pos.X
+			}
+			return r[a] < r[b]
+		})
+	}
+	return rows
+}
+
+// sortedRowYs returns row keys in increasing order for deterministic
+// iteration.
+func sortedRowYs(rows map[float64][]int) []float64 {
+	ys := make([]float64, 0, len(rows))
+	for y := range rows {
+		ys = append(ys, y)
+	}
+	sort.Float64s(ys)
+	return ys
+}
+
+// localReorder permutes windows of consecutive row cells.
+func (o *optimizer) localReorder() int {
+	d := o.d
+	rows := o.rowsOf()
+	w := o.opt.WindowSize
+	count := 0
+	for _, y := range sortedRowYs(rows) {
+		row := rows[y]
+		for s := 0; s+w <= len(row); s++ {
+			win := row[s : s+w]
+			// Window bounds: from the first cell's x to the next
+			// neighbour (or the die edge).
+			left := d.Cells[win[0]].Pos.X
+			right := d.Die.Hi.X
+			if s+w < len(row) {
+				right = d.Cells[row[s+w]].Pos.X
+			}
+			_, right = o.gapBounds(left, right, y, d.Cells[win[0]].H(), left)
+			var widthSum float64
+			for _, ci := range win {
+				widthSum += d.Cells[ci].W()
+			}
+			if widthSum > right-left+1e-9 {
+				continue
+			}
+			if o.tryPermutations(win, left, right) {
+				count++
+				// Re-sort the window slice by new x to keep row order.
+				sort.Slice(win, func(a, b int) bool {
+					return d.Cells[win[a]].Pos.X < d.Cells[win[b]].Pos.X
+				})
+			}
+		}
+	}
+	return count
+}
+
+// tryPermutations packs each permutation of win left-to-right from
+// leftBound and keeps the best legal one. Returns true when the order
+// changed.
+func (o *optimizer) tryPermutations(win []int, leftBound, rightBound float64) bool {
+	d := o.d
+	n := len(win)
+	orig := make([]geom.Point, n)
+	for i, ci := range win {
+		orig[i] = d.Cells[ci].Pos
+	}
+	apply := func(perm []int) bool {
+		x := leftBound
+		for _, pi := range perm {
+			ci := win[pi]
+			c := &d.Cells[ci]
+			c.Pos = geom.Point{X: x, Y: orig[0].Y}
+			x += c.W()
+		}
+		if x > rightBound+1e-9 {
+			return false
+		}
+		for _, pi := range perm {
+			ci := win[pi]
+			if !o.fenceOK(ci, d.Cells[ci].Rect()) {
+				return false
+			}
+		}
+		return true
+	}
+	restore := func() {
+		for i, ci := range win {
+			d.Cells[ci].Pos = orig[i]
+		}
+	}
+	bestCost := o.netCost(win...)
+	var bestPerm []int
+	perms := permutations(n)
+	for _, perm := range perms {
+		if !apply(perm) {
+			restore()
+			continue
+		}
+		c := o.netCost(win...)
+		if c < bestCost-1e-9 {
+			bestCost = c
+			bestPerm = append([]int(nil), perm...)
+		}
+		restore()
+	}
+	if bestPerm == nil {
+		return false
+	}
+	apply(bestPerm)
+	// Identity permutation may still have moved cells (gap collapsing);
+	// only count real reorders.
+	for i, pi := range bestPerm {
+		if pi != i {
+			return true
+		}
+	}
+	return true
+}
+
+// permutations returns all permutations of [0, n).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	sub := permutations(n - 1)
+	var out [][]int
+	for _, p := range sub {
+		for pos := 0; pos <= len(p); pos++ {
+			np := make([]int, 0, n)
+			np = append(np, p[:pos]...)
+			np = append(np, n-1)
+			np = append(np, p[pos:]...)
+			out = append(out, np)
+		}
+	}
+	return out
+}
+
+// rowShift slides every cell to its net-optimal x within its free gap.
+func (o *optimizer) rowShift() int {
+	d := o.d
+	rows := o.rowsOf()
+	count := 0
+	for _, y := range sortedRowYs(rows) {
+		row := rows[y]
+		for i, ci := range row {
+			c := &d.Cells[ci]
+			left := d.Die.Lo.X
+			if i > 0 {
+				p := &d.Cells[row[i-1]]
+				left = p.Pos.X + p.W()
+			}
+			right := d.Die.Hi.X
+			if i+1 < len(row) {
+				right = d.Cells[row[i+1]].Pos.X
+			}
+			left, right = o.gapBounds(left, right, y, c.H(), c.Pos.X)
+			if right-left < c.W() {
+				continue
+			}
+			want, ok := o.optimalPoint(ci)
+			if !ok {
+				continue
+			}
+			targetX := math.Max(left, math.Min(want.X-c.W()/2, right-c.W()))
+			if math.Abs(targetX-c.Pos.X) < 1e-9 {
+				continue
+			}
+			oldPos := c.Pos
+			before := o.netCost(ci)
+			c.Pos = geom.Point{X: targetX, Y: oldPos.Y}
+			if !o.fenceOK(ci, c.Rect()) || o.netCost(ci) >= before-1e-9 {
+				c.Pos = oldPos
+				continue
+			}
+			count++
+		}
+	}
+	return count
+}

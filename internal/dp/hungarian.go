@@ -1,0 +1,98 @@
+package dp
+
+import (
+	"math"
+)
+
+// hungarian solves the square assignment problem: cost[i][j] is the cost
+// of assigning row i to column j; the returned slice maps each row to its
+// column. Costs may be +Inf to forbid an assignment (the solver treats
+// them as a large finite penalty; callers should verify forbidden pairs
+// were not chosen when infeasibility is possible). O(n³).
+func hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	// Replace +Inf with a large finite sentinel so potentials stay finite.
+	big := 1.0
+	for i := range cost {
+		for j := range cost[i] {
+			if !math.IsInf(cost[i][j], 1) && math.Abs(cost[i][j]) > big {
+				big = math.Abs(cost[i][j])
+			}
+		}
+	}
+	sentinel := big*float64(n+1) + 1
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, n)
+		for j := range c[i] {
+			if math.IsInf(cost[i][j], 1) {
+				c[i][j] = sentinel
+			} else {
+				c[i][j] = cost[i][j]
+			}
+		}
+	}
+
+	// Jonker-Volgenant-style shortest augmenting path formulation with
+	// 1-based internal arrays (the classic e-maxx implementation).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := c[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}

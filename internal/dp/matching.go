@@ -1,0 +1,160 @@
+package dp
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// independentSetMatching is the FastDP-style global move: gather a set of
+// same-footprint cells that share no nets (so each cell's cost at each
+// slot is independent of the others' assignment), build the cost matrix
+// of placing every cell at every member's current slot, and solve the
+// assignment optimally with the Hungarian algorithm. Because slots are
+// exactly the cells' current positions, any permutation is legal as long
+// as fences allow it.
+func (o *optimizer) independentSetMatching(setSize int) int {
+	d := o.d
+	if setSize < 2 {
+		setSize = 8
+	}
+	cells := o.movableStd()
+	// Group by footprint.
+	type dims struct{ w, h float64 }
+	groups := map[dims][]int{}
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		groups[dims{c.W(), c.H()}] = append(groups[dims{c.W(), c.H()}], ci)
+	}
+	keys := make([]dims, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].w != keys[j].w {
+			return keys[i].w < keys[j].w
+		}
+		return keys[i].h < keys[j].h
+	})
+	moves := 0
+	for _, k := range keys {
+		group := groups[k]
+		if len(group) < 2 {
+			continue
+		}
+		// Walk the group, accumulating independent sets.
+		used := make(map[int]bool, len(group))
+		for start := 0; start < len(group); start++ {
+			if used[group[start]] {
+				continue
+			}
+			set := []int{group[start]}
+			nets := map[int]bool{}
+			for _, pi := range d.Cells[group[start]].Pins {
+				nets[d.Pins[pi].Net] = true
+			}
+			for _, cj := range group[start+1:] {
+				if used[cj] || len(set) >= setSize {
+					continue
+				}
+				indep := true
+				for _, pi := range d.Cells[cj].Pins {
+					if nets[d.Pins[pi].Net] {
+						indep = false
+						break
+					}
+				}
+				if !indep {
+					continue
+				}
+				set = append(set, cj)
+				for _, pi := range d.Cells[cj].Pins {
+					nets[d.Pins[pi].Net] = true
+				}
+			}
+			for _, ci := range set {
+				used[ci] = true
+			}
+			if len(set) < 2 {
+				continue
+			}
+			if o.matchSet(set) {
+				moves++
+			}
+		}
+	}
+	return moves
+}
+
+// matchSet optimally permutes the given independent same-footprint cells
+// over their current slots. Returns true when the assignment changed.
+func (o *optimizer) matchSet(set []int) bool {
+	d := o.d
+	n := len(set)
+	slots := make([]geom.Point, n)
+	for i, ci := range set {
+		slots[i] = d.Cells[ci].Pos
+	}
+	// Cost matrix: HPWL of cell i's nets with the cell at slot j. Since
+	// the set is independent, costs do not interact.
+	cost := make([][]float64, n)
+	for i, ci := range set {
+		cost[i] = make([]float64, n)
+		orig := d.Cells[ci].Pos
+		for j := range slots {
+			d.Cells[ci].Pos = slots[j]
+			if !o.fenceOK(ci, d.Cells[ci].Rect()) {
+				cost[i][j] = math.Inf(1)
+				continue
+			}
+			cost[i][j] = o.netCost(ci)
+		}
+		d.Cells[ci].Pos = orig
+	}
+	assign := hungarian(cost)
+	// Reject if the solver was forced through a forbidden pair, or if
+	// nothing moved.
+	changed := false
+	var before, after float64
+	for i := range set {
+		if math.IsInf(cost[i][assign[i]], 1) {
+			return false
+		}
+		before += cost[i][i]
+		after += cost[i][assign[i]]
+		if assign[i] != i {
+			changed = true
+		}
+	}
+	if !changed || after >= before-1e-9 {
+		return false
+	}
+	for i, ci := range set {
+		d.Cells[ci].Pos = slots[assign[i]]
+	}
+	return true
+}
+
+// OptimizeWithMatching runs the standard passes plus independent-set
+// matching each round.
+func OptimizeWithMatching(d *db.Design, opt Options) Result {
+	opt = opt.withDefaults()
+	o := &optimizer{d: d, opt: opt}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
+			o.obstacles = append(o.obstacles, c.Rect())
+		}
+	}
+	res := Result{Before: d.HPWL()}
+	for p := 0; p < opt.Passes; p++ {
+		res.Swaps += o.globalSwap()
+		res.Swaps += o.independentSetMatching(8)
+		res.Reorders += o.localReorder()
+		res.Shifts += o.rowShift()
+	}
+	res.After = d.HPWL()
+	return res
+}

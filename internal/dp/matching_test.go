@@ -1,0 +1,218 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/legal"
+)
+
+func TestHungarianKnownMatrix(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := hungarian(cost)
+	// Optimal: 0->1 (1), 1->0 (2), 2->2 (2) = 5.
+	var total float64
+	seen := map[int]bool{}
+	for i, j := range assign {
+		total += cost[i][j]
+		if seen[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		seen[j] = true
+	}
+	if total != 5 {
+		t.Errorf("assignment cost = %v, want 5 (assign %v)", total, assign)
+	}
+}
+
+func TestHungarianIdentityOptimal(t *testing.T) {
+	cost := [][]float64{
+		{0, 9, 9},
+		{9, 0, 9},
+		{9, 9, 0},
+	}
+	assign := hungarian(cost)
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign = %v", assign)
+		}
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Float64()*100) / 10
+			}
+		}
+		assign := hungarian(cost)
+		var got float64
+		for i, j := range assign {
+			got += cost[i][j]
+		}
+		best := math.Inf(1)
+		for _, perm := range permutations(n) {
+			var c float64
+			for i, j := range perm {
+				c += cost[i][j]
+			}
+			best = math.Min(best, c)
+		}
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %v != brute force %v", trial, got, best)
+		}
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if got := hungarian(nil); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestMatchingUncrossesIndependentCells(t *testing.T) {
+	// Four same-size cells wired to four terminals, placed rotated by two
+	// positions; matching must restore the straight assignment.
+	b := db.NewBuilder("m", geom.NewRect(0, 0, 100, 10))
+	var terms, cells []int
+	for i := 0; i < 4; i++ {
+		terms = append(terms, b.AddTerminal(nm("t", i), geom.Point{X: float64(10 + 25*i), Y: 0}))
+		cells = append(cells, b.AddStdCell(nm("c", i), 4, 10))
+	}
+	for i := 0; i < 4; i++ {
+		b.AddNet(nm("n", i), 1, db.Conn{Cell: terms[i]}, b.CenterConn(cells[i]))
+	}
+	b.MakeRows(10, 1)
+	d := b.MustDesign()
+	for i := 0; i < 4; i++ {
+		d.Cells[cells[i]].Pos = geom.Point{X: float64(8 + 25*((i+2)%4)), Y: 0}
+	}
+	before := d.HPWL()
+	res := OptimizeWithMatching(d, Options{Passes: 1})
+	if res.After >= before {
+		t.Errorf("matching did not improve: %v -> %v", before, res.After)
+	}
+	// Each cell should now sit at its own terminal's column.
+	for i := 0; i < 4; i++ {
+		cx := d.Cells[cells[i]].Center().X
+		tx := float64(10 + 25*i)
+		if math.Abs(cx-tx) > 13 {
+			t.Errorf("cell %d at %v, terminal at %v", i, cx, tx)
+		}
+	}
+}
+
+func TestMatchingPreservesLegality(t *testing.T) {
+	d := gen.MustGenerate(gen.Config{
+		Name: "dm", Seed: 33, NumStdCells: 300, NumFixedMacros: 2,
+		NumModules: 3, NumFences: 2, NumTerminals: 8, TargetUtil: 0.55,
+	})
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%101)/101*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*53)%97)/97*d.Die.H(),
+		})
+		if rg := d.CellRegion(ci); rg != db.NoRegion {
+			c.SetCenter(d.Regions[rg].Nearest(c.Center()))
+		}
+	}
+	legal.LegalizeMacros(d)
+	if _, err := legal.LegalizeCells(d); err != nil {
+		t.Fatal(err)
+	}
+	before := d.HPWL()
+	res := OptimizeWithMatching(d, Options{Passes: 2})
+	if res.After > before+1e-6 {
+		t.Errorf("matching worsened HPWL: %v -> %v", before, res.After)
+	}
+	if d.OverlapViolations() != 0 || d.FenceViolations() != 0 || d.OutOfDie() != 0 {
+		t.Errorf("legality broken: ov=%d fv=%d ood=%d",
+			d.OverlapViolations(), d.FenceViolations(), d.OutOfDie())
+	}
+}
+
+func TestMatchingBeatsPlainOptimize(t *testing.T) {
+	build := func() *dbDesign {
+		d := gen.MustGenerate(gen.Config{
+			Name: "cmp", Seed: 44, NumStdCells: 250, NumFixedMacros: 1,
+			NumModules: 2, NumFences: 1, NumTerminals: 16, TargetUtil: 0.5,
+		})
+		for i, ci := range d.Movable() {
+			c := &d.Cells[ci]
+			c.SetCenter(geom.Point{
+				X: d.Die.Lo.X + float64((i*37)%101)/101*d.Die.W(),
+				Y: d.Die.Lo.Y + float64((i*53)%97)/97*d.Die.H(),
+			})
+			if rg := d.CellRegion(ci); rg != db.NoRegion {
+				c.SetCenter(d.Regions[rg].Nearest(c.Center()))
+			}
+		}
+		legal.LegalizeMacros(d)
+		if _, err := legal.LegalizeCells(d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	plain := Optimize(build(), Options{Passes: 2})
+	matched := OptimizeWithMatching(build(), Options{Passes: 2})
+	if matched.After > plain.After*1.01 {
+		t.Errorf("matching variant worse: %v vs plain %v", matched.After, plain.After)
+	}
+}
+
+type dbDesign = db.Design
+
+func nm(p string, i int) string { return p + string(rune('a'+i)) }
+
+func TestCongestionPenaltyDetersHotMoves(t *testing.T) {
+	// A cell pulled rightward by its net; the right half of the die is a
+	// routed hot spot. Without the penalty the shift goes right; with a
+	// strong penalty it stays put.
+	build := func() *db.Design {
+		b := db.NewBuilder("cg", geom.NewRect(0, 0, 100, 10))
+		tr := b.AddTerminal("t", geom.Point{X: 95, Y: 5})
+		a := b.AddStdCell("a", 4, 10)
+		b.AddNet("n", 1, db.Conn{Cell: tr}, b.CenterConn(a))
+		b.MakeRows(10, 1)
+		d := b.MustDesign()
+		d.Cells[a].Pos = geom.Point{X: 10, Y: 0}
+		return d
+	}
+	hot := make([]float64, 10) // 10x1 tiles of 10x10
+	for tx := 5; tx < 10; tx++ {
+		hot[tx] = 3.0 // 300% overload on the right half
+	}
+	dFree := build()
+	Optimize(dFree, Options{Passes: 1})
+	dCong := build()
+	Optimize(dCong, Options{
+		Passes:      1,
+		Congestion:  hot,
+		CongNX:      10,
+		CongTileW:   10,
+		CongTileH:   10,
+		CongPenalty: 10,
+	})
+	xFree := dFree.Cells[1].Pos.X
+	xCong := dCong.Cells[1].Pos.X
+	if xFree < 80 {
+		t.Fatalf("unpenalized shift only reached %v", xFree)
+	}
+	if xCong >= 50 {
+		t.Errorf("congestion-aware shift entered the hot zone: x=%v", xCong)
+	}
+}

@@ -1,0 +1,239 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/db"
+)
+
+func small() Config {
+	return Config{
+		Name: "t", Seed: 42,
+		NumStdCells: 300, NumFixedMacros: 3, NumMovableMacros: 2,
+		MacroSizeRows: 5, NumModules: 4, NumFences: 2, NumTerminals: 12,
+		TargetUtil: 0.6,
+	}
+}
+
+func TestGenerateValidDesign(t *testing.T) {
+	d, err := Generate(small())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated design invalid: %v", err)
+	}
+	s := d.ComputeStats()
+	if s.NumStdCells != 300 {
+		t.Errorf("std cells = %d", s.NumStdCells)
+	}
+	if s.NumMacros != 5 {
+		t.Errorf("macros = %d", s.NumMacros)
+	}
+	if s.NumTerms != 12 {
+		t.Errorf("terminals = %d", s.NumTerms)
+	}
+	if s.NumRegions != 2 {
+		t.Errorf("fences = %d (fence carving failed)", s.NumRegions)
+	}
+	if s.NumModules != 5 { // root + 4
+		t.Errorf("modules = %d", s.NumModules)
+	}
+	if s.NumNets == 0 || s.AvgDegree < 2 {
+		t.Errorf("connectivity degenerate: %+v", s)
+	}
+}
+
+func TestUtilizationNearTarget(t *testing.T) {
+	d := MustGenerate(small())
+	u := d.Utilization()
+	if u < 0.4 || u > 0.75 {
+		t.Errorf("utilization %v too far from target 0.6", u)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustGenerate(small())
+	b := MustGenerate(small())
+	if len(a.Cells) != len(b.Cells) || len(a.Nets) != len(b.Nets) || len(a.Pins) != len(b.Pins) {
+		t.Fatal("sizes differ between identical configs")
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Pos != b.Cells[i].Pos || a.Cells[i].BaseW != b.Cells[i].BaseW {
+			t.Fatalf("cell %d differs between runs", i)
+		}
+	}
+	for i := range a.Nets {
+		if len(a.Nets[i].Pins) != len(b.Nets[i].Pins) {
+			t.Fatalf("net %d differs between runs", i)
+		}
+	}
+	c := small()
+	c.Seed = 43
+	d2 := MustGenerate(c)
+	same := true
+	for i := range a.Cells {
+		if a.Cells[i].Pos != d2.Cells[i].Pos {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Cells) == len(d2.Cells) {
+		t.Error("different seeds produced identical placements")
+	}
+}
+
+func TestFixedMacrosDoNotOverlap(t *testing.T) {
+	cfg := small()
+	cfg.NumFixedMacros = 6
+	d := MustGenerate(cfg)
+	var rects []int
+	for i := range d.Cells {
+		if d.Cells[i].Kind == db.Macro && d.Cells[i].Fixed {
+			rects = append(rects, i)
+		}
+	}
+	if len(rects) != 6 {
+		t.Fatalf("expected 6 fixed macros, got %d", len(rects))
+	}
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			ri, rj := d.Cells[rects[i]].Rect(), d.Cells[rects[j]].Rect()
+			if ri.Overlaps(rj) {
+				t.Errorf("fixed macros %d and %d overlap: %v %v", i, j, ri, rj)
+			}
+		}
+	}
+	for _, ci := range rects {
+		if !d.Die.ContainsRect(d.Cells[ci].Rect()) {
+			t.Errorf("fixed macro %q outside die", d.Cells[ci].Name)
+		}
+	}
+}
+
+func TestFencesAvoidFixedMacros(t *testing.T) {
+	d := MustGenerate(small())
+	for ri := range d.Regions {
+		for _, fr := range d.Regions[ri].Rects {
+			for ci := range d.Cells {
+				c := &d.Cells[ci]
+				if c.Kind == db.Macro && c.Fixed && c.Rect().Overlaps(fr) {
+					t.Errorf("fence %s overlaps fixed macro %s", d.Regions[ri].Name, c.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFencedModulesHaveCells(t *testing.T) {
+	d := MustGenerate(small())
+	fenced := 0
+	for ci := range d.Cells {
+		if d.Cells[ci].Movable() && d.CellRegion(ci) != db.NoRegion {
+			fenced++
+		}
+	}
+	if fenced == 0 {
+		t.Error("no movable cell is fence-constrained; hierarchy wiring broken")
+	}
+}
+
+func TestRouteGridPresent(t *testing.T) {
+	d := MustGenerate(small())
+	if d.Route == nil {
+		t.Fatal("no route info")
+	}
+	r := d.Route
+	if r.GridX < 4 || r.GridY < 4 || r.Layers != 2 {
+		t.Errorf("grid %dx%dx%d degenerate", r.GridX, r.GridY, r.Layers)
+	}
+	if len(r.Blockages) != 3 {
+		t.Errorf("expected 3 macro blockages, got %d", len(r.Blockages))
+	}
+	if r.HorizCap[0] <= 0 || r.VertCap[1] <= 0 {
+		t.Errorf("capacities wrong: H=%v V=%v", r.HorizCap, r.VertCap)
+	}
+}
+
+func TestMovablesStartInsideDie(t *testing.T) {
+	d := MustGenerate(small())
+	for _, ci := range d.Movable() {
+		if !d.Die.Contains(d.Cells[ci].Center()) {
+			t.Errorf("cell %q starts outside die", d.Cells[ci].Name)
+		}
+	}
+}
+
+func TestGeneratedDesignSurvivesBookshelfRoundTrip(t *testing.T) {
+	d := MustGenerate(small())
+	dir := t.TempDir()
+	aux, err := bookshelf.WriteDesign(d, dir)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := bookshelf.ReadDesign(aux)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got.Cells) != len(d.Cells) || len(got.Nets) != len(d.Nets) {
+		t.Fatal("round trip changed design size")
+	}
+	if got.HPWL() != d.HPWL() {
+		t.Errorf("HPWL changed: %v -> %v", d.HPWL(), got.HPWL())
+	}
+	if got.ComputeStats().NumRegions != d.ComputeStats().NumRegions {
+		t.Error("fences lost in round trip")
+	}
+}
+
+func TestSuiteConfigs(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range suite {
+		if seen[cfg.Name] {
+			t.Errorf("duplicate suite name %q", cfg.Name)
+		}
+		seen[cfg.Name] = true
+	}
+	// Sizes must increase.
+	for i := 1; i < len(suite); i++ {
+		if suite[i].NumStdCells <= suite[i-1].NumStdCells {
+			t.Errorf("suite sizes not increasing at %d", i)
+		}
+	}
+	// Small suite must generate valid designs quickly.
+	for _, cfg := range SmallSuite() {
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Errorf("SmallSuite %s: %v", cfg.Name, err)
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("SmallSuite %s invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestCongestedConfig(t *testing.T) {
+	d := MustGenerate(Congested(500, 7))
+	if d.Utilization() < 0.5 {
+		t.Errorf("congested design utilization %v too low", d.Utilization())
+	}
+	if d.Route.HorizCap[0] >= 40 {
+		t.Error("congested design should have reduced capacity")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if len(d.Cells) == 0 || len(d.Rows) == 0 || d.Route == nil {
+		t.Error("defaulted config produced degenerate design")
+	}
+}

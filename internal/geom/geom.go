@@ -1,0 +1,263 @@
+// Package geom provides the planar geometry primitives used throughout the
+// placer: points, axis-aligned rectangles and closed intervals, together
+// with the overlap, clamping and area arithmetic that placement, density
+// accounting, legalization and routing all share.
+//
+// All coordinates are float64 in database units. Rectangles are half-open
+// in spirit — two rectangles that merely touch have zero overlap area — but
+// Contains treats boundaries inclusively, which matches how fence regions
+// and die boundaries are interpreted by legalization.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the placement plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// ManhattanDist returns the L1 distance between p and q, the natural metric
+// for rectilinear routing.
+func (p Point) ManhattanDist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Interval is a closed range [Lo, Hi] on one axis.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Len returns the length of the interval, or 0 for an inverted interval.
+func (iv Interval) Len() float64 {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether v lies in [Lo, Hi].
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Clamp returns v restricted to [Lo, Hi].
+func (iv Interval) Clamp(v float64) float64 {
+	if v < iv.Lo {
+		return iv.Lo
+	}
+	if v > iv.Hi {
+		return iv.Hi
+	}
+	return v
+}
+
+// Overlap returns the length of the intersection of two intervals.
+func (iv Interval) Overlap(o Interval) float64 {
+	lo := math.Max(iv.Lo, o.Lo)
+	hi := math.Min(iv.Hi, o.Hi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Rect is an axis-aligned rectangle with Lo as the lower-left corner and Hi
+// as the upper-right corner.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// NewRect builds a rectangle from any two opposite corners, normalizing so
+// that Lo is the lower-left corner.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Rect{Point{x1, y1}, Point{x2, y2}}
+}
+
+// W returns the rectangle width (0 if degenerate).
+func (r Rect) W() float64 {
+	if r.Hi.X <= r.Lo.X {
+		return 0
+	}
+	return r.Hi.X - r.Lo.X
+}
+
+// H returns the rectangle height (0 if degenerate).
+func (r Rect) H() float64 {
+	if r.Hi.Y <= r.Lo.Y {
+		return 0
+	}
+	return r.Hi.Y - r.Lo.Y
+}
+
+// Area returns width times height.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Empty reports whether the rectangle has zero area.
+func (r Rect) Empty() bool { return r.Hi.X <= r.Lo.X || r.Hi.Y <= r.Lo.Y }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// XInterval returns the projection of r on the x axis.
+func (r Rect) XInterval() Interval { return Interval{r.Lo.X, r.Hi.X} }
+
+// YInterval returns the projection of r on the y axis.
+func (r Rect) YInterval() Interval { return Interval{r.Lo.Y, r.Hi.Y} }
+
+// Contains reports whether p lies in r, boundaries inclusive.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// ContainsRect reports whether o lies entirely within r, boundaries
+// inclusive. Every rectangle contains an empty rectangle whose corner is
+// inside it.
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.Lo.X >= r.Lo.X && o.Hi.X <= r.Hi.X && o.Lo.Y >= r.Lo.Y && o.Hi.Y <= r.Hi.Y
+}
+
+// Intersect returns the intersection of r and o; the result may be empty.
+func (r Rect) Intersect(o Rect) Rect {
+	return Rect{
+		Point{math.Max(r.Lo.X, o.Lo.X), math.Max(r.Lo.Y, o.Lo.Y)},
+		Point{math.Min(r.Hi.X, o.Hi.X), math.Min(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// OverlapArea returns the area of the intersection of r and o.
+func (r Rect) OverlapArea(o Rect) float64 {
+	return r.XInterval().Overlap(o.XInterval()) * r.YInterval().Overlap(o.YInterval())
+}
+
+// Overlaps reports whether r and o share positive area.
+func (r Rect) Overlaps(o Rect) bool { return r.OverlapArea(o) > 0 }
+
+// Union returns the bounding box of r and o. Empty rectangles are treated
+// as absorbing: the union with an empty rectangle returns the other one.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		Point{math.Min(r.Lo.X, o.Lo.X), math.Min(r.Lo.Y, o.Lo.Y)},
+		Point{math.Max(r.Hi.X, o.Hi.X), math.Max(r.Hi.Y, o.Hi.Y)},
+	}
+}
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.Lo.Add(d), r.Hi.Add(d)}
+}
+
+// Expand returns r grown by m on every side (shrunk for negative m; the
+// result is normalized so it never inverts).
+func (r Rect) Expand(m float64) Rect {
+	out := Rect{Point{r.Lo.X - m, r.Lo.Y - m}, Point{r.Hi.X + m, r.Hi.Y + m}}
+	if out.Hi.X < out.Lo.X {
+		c := (out.Hi.X + out.Lo.X) / 2
+		out.Lo.X, out.Hi.X = c, c
+	}
+	if out.Hi.Y < out.Lo.Y {
+		c := (out.Hi.Y + out.Lo.Y) / 2
+		out.Lo.Y, out.Hi.Y = c, c
+	}
+	return out
+}
+
+// ClampPoint returns p moved to the nearest point inside r.
+func (r Rect) ClampPoint(p Point) Point {
+	return Point{r.XInterval().Clamp(p.X), r.YInterval().Clamp(p.Y)}
+}
+
+// ClampRect returns o translated by the smallest displacement that places it
+// inside r. If o is larger than r on an axis, o is aligned to r's low edge
+// on that axis.
+func (r Rect) ClampRect(o Rect) Rect {
+	dx, dy := 0.0, 0.0
+	switch {
+	case o.W() > r.W() || o.Lo.X < r.Lo.X:
+		dx = r.Lo.X - o.Lo.X
+	case o.Hi.X > r.Hi.X:
+		dx = r.Hi.X - o.Hi.X
+	}
+	switch {
+	case o.H() > r.H() || o.Lo.Y < r.Lo.Y:
+		dy = r.Lo.Y - o.Lo.Y
+	case o.Hi.Y > r.Hi.Y:
+		dy = r.Hi.Y - o.Hi.Y
+	}
+	return o.Translate(Point{dx, dy})
+}
+
+// DistToPoint returns the Euclidean distance from p to the rectangle
+// (0 if p is inside).
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.Lo.X-p.X, p.X-r.Hi.X))
+	dy := math.Max(0, math.Max(r.Lo.Y-p.Y, p.Y-r.Hi.Y))
+	return math.Hypot(dx, dy)
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s %s]", r.Lo, r.Hi)
+}
+
+// BoundingBox returns the smallest rectangle containing all points; it
+// returns an empty Rect when pts is empty.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	bb := Rect{pts[0], pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < bb.Lo.X {
+			bb.Lo.X = p.X
+		}
+		if p.Y < bb.Lo.Y {
+			bb.Lo.Y = p.Y
+		}
+		if p.X > bb.Hi.X {
+			bb.Hi.X = p.X
+		}
+		if p.Y > bb.Hi.Y {
+			bb.Hi.Y = p.Y
+		}
+	}
+	return bb
+}
+
+// HPWL returns the half-perimeter wirelength of the bounding box of pts.
+func HPWL(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	bb := BoundingBox(pts)
+	return (bb.Hi.X - bb.Lo.X) + (bb.Hi.Y - bb.Lo.Y)
+}

@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dist(q); !almostEq(got, math.Hypot(2, 6)) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.ManhattanDist(q); !almostEq(got, 8) {
+		t.Errorf("ManhattanDist = %v", got)
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{2, 5}
+	if got := iv.Len(); got != 3 {
+		t.Errorf("Len = %v", got)
+	}
+	if (Interval{5, 2}).Len() != 0 {
+		t.Error("inverted interval should have zero length")
+	}
+	if !iv.Contains(2) || !iv.Contains(5) || iv.Contains(5.1) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if got := iv.Clamp(0); got != 2 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := iv.Clamp(9); got != 5 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := iv.Clamp(3); got != 3 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want float64
+	}{
+		{Interval{0, 4}, Interval{2, 6}, 2},
+		{Interval{0, 4}, Interval{4, 6}, 0},
+		{Interval{0, 4}, Interval{5, 6}, 0},
+		{Interval{0, 10}, Interval{2, 3}, 1},
+		{Interval{2, 3}, Interval{0, 10}, 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlap(c.b); !almostEq(got, c.want) {
+			t.Errorf("Overlap(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	if r.Lo != (Point{1, 2}) || r.Hi != (Point{5, 7}) {
+		t.Errorf("NewRect did not normalize: %v", r)
+	}
+}
+
+func TestRectDimensions(t *testing.T) {
+	r := NewRect(0, 0, 3, 4)
+	if r.W() != 3 || r.H() != 4 || r.Area() != 12 {
+		t.Errorf("dimensions wrong: w=%v h=%v a=%v", r.W(), r.H(), r.Area())
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Error("zero rect should be empty")
+	}
+	if c := r.Center(); c != (Point{1.5, 2}) {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) {
+		t.Error("boundary points should be contained")
+	}
+	if r.Contains(Point{10.001, 5}) {
+		t.Error("outside point contained")
+	}
+	if !r.ContainsRect(NewRect(1, 1, 9, 9)) {
+		t.Error("inner rect should be contained")
+	}
+	if r.ContainsRect(NewRect(1, 1, 11, 9)) {
+		t.Error("overhanging rect should not be contained")
+	}
+}
+
+func TestRectOverlap(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	b := NewRect(2, 2, 6, 6)
+	if got := a.OverlapArea(b); !almostEq(got, 4) {
+		t.Errorf("OverlapArea = %v", got)
+	}
+	if !a.Overlaps(b) {
+		t.Error("should overlap")
+	}
+	touch := NewRect(4, 0, 8, 4)
+	if a.Overlaps(touch) {
+		t.Error("touching rects should not count as overlapping")
+	}
+	inter := a.Intersect(b)
+	if inter != NewRect(2, 2, 4, 4) {
+		t.Errorf("Intersect = %v", inter)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(5, 5, 6, 8)
+	u := a.Union(b)
+	if u != NewRect(0, 0, 6, 8) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("union with empty should be identity, got %v", got)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Errorf("empty union b = %v", got)
+	}
+}
+
+func TestRectTranslateExpand(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if got := r.Translate(Point{1, -1}); got != NewRect(1, -1, 3, 1) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.Expand(1); got != NewRect(-1, -1, 3, 3) {
+		t.Errorf("Expand = %v", got)
+	}
+	// Over-shrinking must collapse to the midline, not invert.
+	s := r.Expand(-5)
+	if s.W() != 0 || s.H() != 0 {
+		t.Errorf("over-shrunk rect should be degenerate, got %v", s)
+	}
+}
+
+func TestClampRect(t *testing.T) {
+	die := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		in, want Rect
+	}{
+		{NewRect(-2, 3, 1, 6), NewRect(0, 3, 3, 6)},
+		{NewRect(8, 8, 12, 12), NewRect(6, 6, 10, 10)},
+		{NewRect(2, 2, 4, 4), NewRect(2, 2, 4, 4)},
+		// Larger than die: aligned to low edge.
+		{NewRect(-1, 0, 14, 3), NewRect(0, 0, 15, 3)},
+	}
+	for _, c := range cases {
+		if got := die.ClampRect(c.in); got != c.want {
+			t.Errorf("ClampRect(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if d := r.DistToPoint(Point{1, 1}); d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := r.DistToPoint(Point{5, 2}); !almostEq(d, 3) {
+		t.Errorf("axis dist = %v", d)
+	}
+	if d := r.DistToPoint(Point{5, 6}); !almostEq(d, 5) {
+		t.Errorf("corner dist = %v", d)
+	}
+}
+
+func TestBoundingBoxAndHPWL(t *testing.T) {
+	pts := []Point{{1, 5}, {4, 2}, {3, 3}}
+	bb := BoundingBox(pts)
+	if bb != NewRect(1, 2, 4, 5) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if got := HPWL(pts); !almostEq(got, 6) {
+		t.Errorf("HPWL = %v", got)
+	}
+	if HPWL(nil) != 0 || HPWL(pts[:1]) != 0 {
+		t.Error("degenerate HPWL should be 0")
+	}
+	if !BoundingBox(nil).Empty() {
+		t.Error("bounding box of no points should be empty")
+	}
+}
+
+// Property: overlap area is symmetric and bounded by each rectangle's area.
+func TestOverlapAreaProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a := NewRect(mod(x1), mod(y1), mod(x2), mod(y2))
+		b := NewRect(mod(x3), mod(y3), mod(x4), mod(y4))
+		ab, ba := a.OverlapArea(b), b.OverlapArea(a)
+		if !almostEq(ab, ba) {
+			return false
+		}
+		return ab <= a.Area()+1e-9 && ab <= b.Area()+1e-9 && ab >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clamping into a rect yields a contained point, and is idempotent.
+func TestClampPointProperties(t *testing.T) {
+	r := NewRect(-3, -7, 11, 13)
+	f := func(x, y float64) bool {
+		p := r.ClampPoint(Point{mod(x), mod(y)})
+		return r.Contains(p) && r.ClampPoint(p) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands; intersection is contained in both.
+func TestUnionIntersectProperties(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a := NewRect(mod(x1), mod(y1), mod(x2), mod(y2))
+		b := NewRect(mod(x3), mod(y3), mod(x4), mod(y4))
+		u := a.Union(b)
+		// Union treats empty rectangles as absorbing, so containment is
+		// only promised for non-empty operands.
+		if !a.Empty() && !u.ContainsRect(a) {
+			return false
+		}
+		if !b.Empty() && !u.ContainsRect(b) {
+			return false
+		}
+		i := a.Intersect(b)
+		if i.Empty() {
+			return true
+		}
+		return a.ContainsRect(i) && b.ContainsRect(i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mod squashes arbitrary quick-generated floats (which may be NaN/Inf/huge)
+// into a well-behaved finite range so geometric identities are testable.
+func mod(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1000)
+}

@@ -1,0 +1,307 @@
+package legal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// rowSeg is one obstacle-free interval of a placement row, tagged with the
+// fence domain that may use it (db.NoRegion = outside every fence).
+type rowSeg struct {
+	row    int
+	y      float64
+	x1, x2 float64
+	domain int
+
+	cells    []int // design cell indices, in insertion (sorted-x) order
+	clusters []clus
+	used     float64
+}
+
+// clus is one Abacus cluster: a maximal run of abutting cells with a
+// common optimal position.
+type clus struct {
+	first   int // index into rowSeg.cells of the cluster's first cell
+	e, q, w float64
+	x       float64
+}
+
+func (s *rowSeg) length() float64 { return s.x2 - s.x1 }
+
+// clampClusterX returns the legal position of a cluster of width w.
+func (s *rowSeg) clampClusterX(x, w float64) float64 {
+	if x < s.x1 {
+		x = s.x1
+	}
+	if x > s.x2-w {
+		x = s.x2 - w
+	}
+	return x
+}
+
+// trial computes the displacement cost of appending a cell with the given
+// desired position and width, without mutating the segment. The second
+// return is the x the cell would land at.
+func (s *rowSeg) trial(desiredX, desiredY, width float64) (cost, landX float64) {
+	if width > s.length()-s.used {
+		return math.Inf(1), 0
+	}
+	e, q, w := 1.0, desiredX, width
+	x := s.clampClusterX(q/e, w)
+	for i := len(s.clusters) - 1; i >= 0; i-- {
+		c := &s.clusters[i]
+		if c.x+c.w <= x {
+			break
+		}
+		q = c.q + q - e*c.w
+		e += c.e
+		w += c.w
+		x = s.clampClusterX(q/e, w)
+	}
+	landX = x + w - width
+	return math.Abs(landX-desiredX) + math.Abs(s.y-desiredY), landX
+}
+
+// insert appends the cell, merging clusters per the Abacus recurrence.
+func (s *rowSeg) insert(cell int, desiredX, width float64) {
+	pos := len(s.cells)
+	s.cells = append(s.cells, cell)
+	s.used += width
+	nc := clus{first: pos, e: 1, q: desiredX, w: width}
+	nc.x = s.clampClusterX(nc.q/nc.e, nc.w)
+	for len(s.clusters) > 0 {
+		last := &s.clusters[len(s.clusters)-1]
+		if last.x+last.w <= nc.x {
+			break
+		}
+		nc.q = last.q + nc.q - nc.e*last.w
+		nc.e += last.e
+		nc.w += last.w
+		nc.first = last.first
+		nc.x = s.clampClusterX(nc.q/nc.e, nc.w)
+		s.clusters = s.clusters[:len(s.clusters)-1]
+	}
+	s.clusters = append(s.clusters, nc)
+}
+
+// finalize writes the legalized positions into the design, snapping
+// cluster starts to the site grid.
+func (s *rowSeg) finalize(d *db.Design, siteW float64) {
+	for ci := range s.clusters {
+		c := &s.clusters[ci]
+		end := len(s.cells)
+		if ci+1 < len(s.clusters) {
+			end = s.clusters[ci+1].first
+		}
+		x := c.x
+		// Snap left, then right if that violates the segment start.
+		sx := math.Floor((x-s.x1)/siteW)*siteW + s.x1
+		if sx >= s.x1 && c.w <= s.x2-sx {
+			x = sx
+		}
+		for k := c.first; k < end; k++ {
+			cell := &d.Cells[s.cells[k]]
+			cell.Pos = geom.Point{X: x, Y: s.y}
+			x += cell.W()
+		}
+	}
+}
+
+// CellResult reports standard-cell legalization quality.
+type CellResult struct {
+	// Placed is the number of cells legalized through row segments.
+	Placed int
+	// Fallbacks is the number of cells that found no feasible segment and
+	// were clamped in place (they may overlap; callers should treat any
+	// nonzero value as a capacity problem).
+	Fallbacks int
+	// TotalDisp and MaxDisp are Manhattan displacement stats.
+	TotalDisp float64
+	MaxDisp   float64
+}
+
+// LegalizeCells legalizes all movable standard cells onto row segments
+// using Tetris dispatch ordered by x with Abacus row packing, honoring
+// fence domains. Macros must already be legal (and fixed).
+func LegalizeCells(d *db.Design) (CellResult, error) {
+	if len(d.Rows) == 0 {
+		return CellResult{}, fmt.Errorf("legal: design %q has no rows", d.Name)
+	}
+	segs := buildSegments(d)
+	// Per-row segment index for candidate lookup.
+	rowSegs := make([][]*rowSeg, len(d.Rows))
+	for i := range segs {
+		s := segs[i]
+		rowSegs[s.row] = append(rowSegs[s.row], s)
+	}
+
+	var cells []int
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Movable() && c.Kind == db.StdCell {
+			cells = append(cells, ci)
+		}
+	}
+	// Tetris order: by desired x, ties by y then index, so per-segment
+	// arrivals are sorted and Abacus insertion is append-only.
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := &d.Cells[cells[a]], &d.Cells[cells[b]]
+		if ca.Pos.X != cb.Pos.X {
+			return ca.Pos.X < cb.Pos.X
+		}
+		if ca.Pos.Y != cb.Pos.Y {
+			return ca.Pos.Y < cb.Pos.Y
+		}
+		return cells[a] < cells[b]
+	})
+
+	rowH := d.RowHeight()
+	res := CellResult{}
+	wishes := make(map[int]geom.Point, len(cells))
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		domain := d.CellRegion(ci)
+		want := c.Pos
+		bestCost := math.Inf(1)
+		var bestSeg *rowSeg
+		// Expand the row search window until a feasible segment appears
+		// and one further ring confirms it is locally optimal.
+		baseRow := int((want.Y - d.Die.Lo.Y) / rowH)
+		maxR := len(d.Rows)
+		foundAt := -1
+		for radius := 0; radius < maxR; radius++ {
+			if foundAt >= 0 && radius > foundAt+2 {
+				break
+			}
+			for _, row := range []int{baseRow - radius, baseRow + radius} {
+				if row < 0 || row >= len(d.Rows) {
+					continue
+				}
+				if radius == 0 && row != baseRow {
+					continue
+				}
+				for _, s := range rowSegs[row] {
+					if s.domain != domain {
+						continue
+					}
+					cost, _ := s.trial(want.X, want.Y, c.W())
+					if cost < bestCost {
+						bestCost = cost
+						bestSeg = s
+						if foundAt < 0 {
+							foundAt = radius
+						}
+					}
+				}
+				if bestSeg != nil && foundAt < 0 {
+					foundAt = radius
+				}
+			}
+		}
+		if bestSeg == nil {
+			res.Fallbacks++
+			c.Pos = d.Die.ClampRect(c.Rect()).Lo
+			continue
+		}
+		bestSeg.insert(ci, want.X, c.W())
+		wishes[ci] = want
+		res.Placed++
+	}
+	siteW := d.Rows[0].SiteWidth
+	if siteW <= 0 {
+		siteW = 1
+	}
+	for _, s := range segs {
+		s.finalize(d, siteW)
+	}
+	for ci, want := range wishes {
+		c := &d.Cells[ci]
+		disp := math.Abs(c.Pos.X-want.X) + math.Abs(c.Pos.Y-want.Y)
+		res.TotalDisp += disp
+		if disp > res.MaxDisp {
+			res.MaxDisp = disp
+		}
+	}
+	return res, nil
+}
+
+// buildSegments splits every row into obstacle-free intervals and assigns
+// fence domains. Fence rectangles are assumed row-aligned (the generator
+// and reader snap them); a row piece strictly inside a fence rect belongs
+// to that fence's domain, everything else to NoRegion.
+func buildSegments(d *db.Design) []*rowSeg {
+	var segs []*rowSeg
+	for ri := range d.Rows {
+		row := &d.Rows[ri]
+		rowRect := row.Rect()
+		// Gather blocking intervals from fixed, space-occupying cells.
+		type iv struct{ a, b float64 }
+		var blocks []iv
+		for ci := range d.Cells {
+			c := &d.Cells[ci]
+			if c.Movable() || c.Kind == db.Terminal || c.Area() == 0 {
+				continue
+			}
+			r := c.Rect()
+			if r.Lo.Y < rowRect.Hi.Y && r.Hi.Y > rowRect.Lo.Y {
+				blocks = append(blocks, iv{r.Lo.X, r.Hi.X})
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].a < blocks[j].a })
+		// Sweep to produce free intervals.
+		var free []iv
+		cursor := rowRect.Lo.X
+		for _, b := range blocks {
+			if b.a > cursor {
+				free = append(free, iv{cursor, math.Min(b.a, rowRect.Hi.X)})
+			}
+			if b.b > cursor {
+				cursor = b.b
+			}
+			if cursor >= rowRect.Hi.X {
+				break
+			}
+		}
+		if cursor < rowRect.Hi.X {
+			free = append(free, iv{cursor, rowRect.Hi.X})
+		}
+		// Split each free interval at fence boundaries.
+		for _, f := range free {
+			cuts := []float64{f.a, f.b}
+			for gi := range d.Regions {
+				for _, fr := range d.Regions[gi].Rects {
+					if fr.Lo.Y <= rowRect.Lo.Y && fr.Hi.Y >= rowRect.Hi.Y {
+						if fr.Lo.X > f.a && fr.Lo.X < f.b {
+							cuts = append(cuts, fr.Lo.X)
+						}
+						if fr.Hi.X > f.a && fr.Hi.X < f.b {
+							cuts = append(cuts, fr.Hi.X)
+						}
+					}
+				}
+			}
+			sort.Float64s(cuts)
+			for i := 0; i+1 < len(cuts); i++ {
+				a, b := cuts[i], cuts[i+1]
+				if b-a < 1e-9 {
+					continue
+				}
+				domain := db.NoRegion
+				mid := geom.Point{X: (a + b) / 2, Y: (rowRect.Lo.Y + rowRect.Hi.Y) / 2}
+				for gi := range d.Regions {
+					for _, fr := range d.Regions[gi].Rects {
+						if fr.Lo.Y <= rowRect.Lo.Y && fr.Hi.Y >= rowRect.Hi.Y && fr.Contains(mid) {
+							domain = gi
+						}
+					}
+				}
+				segs = append(segs, &rowSeg{row: ri, y: row.Y, x1: a, x2: b, domain: domain})
+			}
+		}
+	}
+	return segs
+}

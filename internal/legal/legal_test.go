@@ -1,0 +1,305 @@
+package legal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+func TestAbacusSingleSegmentPacking(t *testing.T) {
+	s := &rowSeg{y: 0, x1: 0, x2: 100, domain: db.NoRegion}
+	// Three cells wanting to stack at x=10.
+	b := db.NewBuilder("p", geom.NewRect(0, 0, 100, 10))
+	for i := 0; i < 3; i++ {
+		b.AddStdCell(string(rune('a'+i)), 4, 2)
+	}
+	d := b.MustDesign()
+	for i := 0; i < 3; i++ {
+		s.insert(i, 10, 4)
+	}
+	s.finalize(d, 1)
+	// Cells must abut around x=10 without overlapping.
+	xs := []float64{d.Cells[0].Pos.X, d.Cells[1].Pos.X, d.Cells[2].Pos.X}
+	if !(xs[0] < xs[1] && xs[1] < xs[2]) {
+		t.Fatalf("order broken: %v", xs)
+	}
+	for i := 0; i < 2; i++ {
+		if xs[i+1]-xs[i] < 4 {
+			t.Errorf("cells %d,%d overlap: %v", i, i+1, xs)
+		}
+	}
+	// The pack centers near the common wish.
+	mid := (xs[0] + xs[2] + 4) / 2
+	if math.Abs(mid-12) > 4 {
+		t.Errorf("pack center %v far from wish", mid)
+	}
+}
+
+func TestAbacusRespectsSegmentBounds(t *testing.T) {
+	s := &rowSeg{y: 0, x1: 10, x2: 30, domain: db.NoRegion}
+	b := db.NewBuilder("p", geom.NewRect(0, 0, 100, 10))
+	for i := 0; i < 4; i++ {
+		b.AddStdCell(string(rune('a'+i)), 5, 2)
+	}
+	d := b.MustDesign()
+	// All four want x=0 (left of segment).
+	for i := 0; i < 4; i++ {
+		s.insert(i, 0, 5)
+	}
+	s.finalize(d, 1)
+	for i := 0; i < 4; i++ {
+		p := d.Cells[i].Pos.X
+		if p < 10-1e-9 || p+5 > 30+1e-9 {
+			t.Errorf("cell %d at %v outside segment [10,30]", i, p)
+		}
+	}
+}
+
+func TestTrialMatchesInsert(t *testing.T) {
+	s := &rowSeg{y: 0, x1: 0, x2: 50, domain: db.NoRegion}
+	s.insert(0, 5, 4)
+	s.insert(1, 6, 4)
+	cost, landX := s.trial(7, 0, 4)
+	if math.IsInf(cost, 1) {
+		t.Fatal("trial infeasible on roomy segment")
+	}
+	s.insert(2, 7, 4)
+	// Recompute the actual landing from clusters.
+	last := s.clusters[len(s.clusters)-1]
+	actual := last.x + last.w - 4
+	if math.Abs(landX-actual) > 1e-9 {
+		t.Errorf("trial landX %v != actual %v", landX, actual)
+	}
+}
+
+func TestTrialRejectsFullSegment(t *testing.T) {
+	s := &rowSeg{y: 0, x1: 0, x2: 10, domain: db.NoRegion}
+	s.insert(0, 0, 6)
+	if cost, _ := s.trial(0, 0, 6); !math.IsInf(cost, 1) {
+		t.Errorf("expected Inf cost, got %v", cost)
+	}
+}
+
+// legalSmall generates a small design, scatters cells, and legalizes.
+func legalSmall(t *testing.T, cfg gen.Config) *db.Design {
+	t.Helper()
+	d := gen.MustGenerate(cfg)
+	// Scatter cells deterministically (pretend GP happened).
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%101)/101*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*53)%97)/97*d.Die.H(),
+		})
+		// If fenced, pre-pull into the fence bounding box (GP would).
+		if rg := d.CellRegion(ci); rg != db.NoRegion {
+			c.SetCenter(d.Regions[rg].Nearest(c.Center()))
+		}
+	}
+	LegalizeMacros(d)
+	res, err := LegalizeCells(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallbacks > 0 {
+		t.Fatalf("%d fallback cells (capacity problem)", res.Fallbacks)
+	}
+	return d
+}
+
+func TestLegalizeEndToEnd(t *testing.T) {
+	d := legalSmall(t, gen.Config{
+		Name: "lg", Seed: 11, NumStdCells: 400, NumFixedMacros: 2,
+		NumMovableMacros: 2, NumModules: 3, NumFences: 2, NumTerminals: 8,
+		TargetUtil: 0.55,
+	})
+	if v := d.OverlapViolations(); v != 0 {
+		t.Errorf("overlaps after legalization: %d", v)
+	}
+	if v := d.OutOfDie(); v != 0 {
+		t.Errorf("cells outside die: %d", v)
+	}
+	if v := d.FenceViolations(); v != 0 {
+		t.Errorf("fence violations: %d", v)
+	}
+	// Row alignment: every movable std cell bottom must sit on a row.
+	rowH := d.RowHeight()
+	for _, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		if c.Kind != db.StdCell {
+			continue
+		}
+		frac := math.Mod(c.Pos.Y-d.Die.Lo.Y, rowH)
+		if frac > 1e-6 && rowH-frac > 1e-6 {
+			t.Fatalf("cell %q not row aligned: y=%v", c.Name, c.Pos.Y)
+		}
+	}
+}
+
+func TestLegalizeMacrosAvoidOverlap(t *testing.T) {
+	b := db.NewBuilder("m", geom.NewRect(0, 0, 100, 100))
+	fixed := b.AddMacro("fx", 30, 30, true)
+	m1 := b.AddMacro("m1", 20, 20, false)
+	m2 := b.AddMacro("m2", 20, 20, false)
+	b.MakeRows(10, 1)
+	d := b.MustDesign()
+	d.Cells[fixed].Pos = geom.Point{X: 40, Y: 40}
+	// Both movable macros on top of the fixed one.
+	d.Cells[m1].Pos = geom.Point{X: 45, Y: 45}
+	d.Cells[m2].Pos = geom.Point{X: 45, Y: 45}
+	disp := LegalizeMacros(d)
+	if disp <= 0 {
+		t.Error("expected nonzero displacement")
+	}
+	if v := d.OverlapViolations(); v != 0 {
+		t.Errorf("macro overlaps remain: %d", v)
+	}
+	if !d.Cells[m1].Fixed || !d.Cells[m2].Fixed {
+		t.Error("legalized macros must be fixed")
+	}
+	// Row/site alignment.
+	for _, mi := range []int{m1, m2} {
+		p := d.Cells[mi].Pos
+		if math.Mod(p.Y, 10) > 1e-9 || math.Mod(p.X, 1) > 1e-9 {
+			t.Errorf("macro %d not lattice aligned: %v", mi, p)
+		}
+	}
+}
+
+func TestBuildSegmentsAroundObstacle(t *testing.T) {
+	b := db.NewBuilder("s", geom.NewRect(0, 0, 100, 30))
+	b.AddMacro("fx", 20, 30, true)
+	b.MakeRows(10, 1)
+	d := b.MustDesign()
+	d.Cells[0].Pos = geom.Point{X: 40, Y: 0}
+	segs := buildSegments(d)
+	// 3 rows × 2 segments each.
+	if len(segs) != 6 {
+		t.Fatalf("expected 6 segments, got %d", len(segs))
+	}
+	for _, s := range segs {
+		if s.x1 < 0 || s.x2 > 100 {
+			t.Errorf("segment out of row: [%v, %v]", s.x1, s.x2)
+		}
+		if s.x2 > 40 && s.x1 < 60 {
+			t.Errorf("segment overlaps obstacle: [%v, %v]", s.x1, s.x2)
+		}
+	}
+}
+
+func TestBuildSegmentsFenceDomains(t *testing.T) {
+	b := db.NewBuilder("f", geom.NewRect(0, 0, 100, 10))
+	b.AddRegion("fence", geom.NewRect(20, 0, 50, 10))
+	b.AddStdCell("a", 2, 2)
+	b.MakeRows(10, 1)
+	d := b.MustDesign()
+	segs := buildSegments(d)
+	if len(segs) != 3 {
+		t.Fatalf("expected 3 segments (out, fence, out), got %d", len(segs))
+	}
+	domains := map[int]float64{}
+	for _, s := range segs {
+		domains[s.domain] += s.length()
+	}
+	if math.Abs(domains[0]-30) > 1e-9 {
+		t.Errorf("fence domain length = %v, want 30", domains[0])
+	}
+	if math.Abs(domains[db.NoRegion]-70) > 1e-9 {
+		t.Errorf("outside domain length = %v, want 70", domains[db.NoRegion])
+	}
+}
+
+func TestFencedCellStaysInFence(t *testing.T) {
+	b := db.NewBuilder("fc", geom.NewRect(0, 0, 100, 20))
+	rg := b.AddRegion("fence", geom.NewRect(60, 0, 90, 20))
+	ci := b.AddStdCell("a", 4, 10)
+	co := b.AddStdCell("b", 4, 10)
+	b.MakeRows(10, 1)
+	d := b.MustDesign()
+	d.Cells[ci].Region = rg
+	// Fenced cell wishes far outside; outsider wishes inside the fence.
+	d.Cells[ci].Pos = geom.Point{X: 10, Y: 0}
+	d.Cells[co].Pos = geom.Point{X: 70, Y: 0}
+	if _, err := LegalizeCells(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.FenceViolations() != 0 {
+		t.Errorf("fenced cell at %v escaped fence", d.Cells[ci].Pos)
+	}
+	// The outsider must have been pushed out of the fence.
+	or := d.Cells[co].Rect()
+	if d.Regions[rg].Contains(or) {
+		t.Errorf("outsider cell legalized inside exclusive fence: %v", or)
+	}
+}
+
+func TestLegalizeCellsRequiresRows(t *testing.T) {
+	b := db.NewBuilder("nr", geom.NewRect(0, 0, 10, 10))
+	b.AddStdCell("a", 1, 1)
+	d := b.MustDesign()
+	if _, err := LegalizeCells(d); err == nil {
+		t.Error("expected error without rows")
+	}
+}
+
+func TestDisplacementReported(t *testing.T) {
+	b := db.NewBuilder("disp", geom.NewRect(0, 0, 100, 10))
+	a := b.AddStdCell("a", 4, 10)
+	b.MakeRows(10, 1)
+	d := b.MustDesign()
+	d.Cells[a].Pos = geom.Point{X: 13.7, Y: 3}
+	res, err := LegalizeCells(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 1 || res.TotalDisp <= 0 || res.MaxDisp != res.TotalDisp {
+		t.Errorf("displacement stats wrong: %+v", res)
+	}
+}
+
+func TestAlternateRowOrientations(t *testing.T) {
+	d := legalSmall(t, gen.Config{
+		Name: "or", Seed: 51, NumStdCells: 200, NumFixedMacros: 1,
+		NumModules: 2, NumFences: 1, NumTerminals: 4, TargetUtil: 0.5,
+	})
+	flipped := AlternateRowOrientations(d)
+	if flipped == 0 {
+		t.Fatal("no cells flipped")
+	}
+	// Legality preserved.
+	if d.OverlapViolations() != 0 || d.OutOfDie() != 0 || d.FenceViolations() != 0 {
+		t.Error("row flipping broke legality")
+	}
+	// Every movable std cell's orientation must match its row parity.
+	rowH := d.RowHeight()
+	for _, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		if c.Kind != db.StdCell {
+			continue
+		}
+		row := int(math.Round((c.Pos.Y - d.Rows[0].Y) / rowH))
+		want := db.N
+		if row%2 == 1 {
+			want = db.FS
+		}
+		if c.Orient != want {
+			t.Fatalf("cell %q in row %d has orientation %v", c.Name, row, c.Orient)
+		}
+	}
+	// Idempotent.
+	if again := AlternateRowOrientations(d); again != 0 {
+		t.Errorf("second pass flipped %d cells", again)
+	}
+}
+
+func TestAlternateRowOrientationsNoRows(t *testing.T) {
+	b := db.NewBuilder("nr", geom.NewRect(0, 0, 10, 10))
+	b.AddStdCell("a", 1, 1)
+	d := b.MustDesign()
+	if got := AlternateRowOrientations(d); got != 0 {
+		t.Errorf("flipped %d without rows", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package legal turns a global placement into a legal one: movable macros
+// are legalized first (greedy displacement-minimizing search over a
+// candidate lattice, avoiding fixed macros and each other), then standard
+// cells are packed into row segments by a Tetris-style dispatch refined
+// with Abacus row dynamic programming. Both stages honor fence regions:
+// a fenced cell only considers row segments inside its fence, and cells
+// without a fence only use segments outside every fence (fences are
+// exclusive, matching hierarchical-design semantics).
+package legal
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// LegalizeMacros places every movable macro on the row/site lattice
+// without overlapping fixed objects or previously legalized macros,
+// minimizing displacement greedily (largest macros first). Legalized
+// macros are marked Fixed so later stages treat them as blockages.
+// It returns the total displacement.
+func LegalizeMacros(d *db.Design) float64 {
+	rowH := d.RowHeight()
+	if rowH <= 0 {
+		rowH = 1
+	}
+	siteW := 1.0
+	if len(d.Rows) > 0 && d.Rows[0].SiteWidth > 0 {
+		siteW = d.Rows[0].SiteWidth
+	}
+
+	// Obstacles: fixed space-occupying cells.
+	var obstacles []geom.Rect
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
+			obstacles = append(obstacles, c.Rect())
+		}
+	}
+
+	macros := d.MovableMacros()
+	sort.Slice(macros, func(i, j int) bool {
+		ai, aj := d.Cells[macros[i]].Area(), d.Cells[macros[j]].Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return macros[i] < macros[j]
+	})
+
+	var totalDisp float64
+	for _, mi := range macros {
+		c := &d.Cells[mi]
+		want := c.Pos
+		// Fence regions the macro does not belong to are exclusion zones:
+		// parking a macro inside one would silently destroy the fence's
+		// standard-cell capacity.
+		forbidden := obstacles
+		if len(d.Regions) > 0 {
+			own := d.CellRegion(mi)
+			forbidden = append([]geom.Rect(nil), obstacles...)
+			for rg := range d.Regions {
+				if rg == own {
+					continue
+				}
+				forbidden = append(forbidden, d.Regions[rg].Rects...)
+			}
+		}
+		pos, ok := findMacroSpot(d, c, forbidden, rowH, siteW)
+		if !ok && len(forbidden) != len(obstacles) {
+			// No spot exists outside foreign fences; tolerate a fence
+			// overlap rather than a physical one.
+			pos, ok = findMacroSpot(d, c, obstacles, rowH, siteW)
+		}
+		if !ok {
+			// Fall back: clamp into the die even if overlapping; the
+			// overlap will surface in quality metrics rather than
+			// silently corrupting the database.
+			pos = d.Die.ClampRect(c.Rect()).Lo
+		}
+		c.Pos = pos
+		c.Fixed = true
+		obstacles = append(obstacles, c.Rect())
+		totalDisp += math.Abs(pos.X-want.X) + math.Abs(pos.Y-want.Y)
+	}
+	return totalDisp
+}
+
+// findMacroSpot searches a spiral of lattice-aligned candidate positions
+// around the macro's desired location for the nearest overlap-free spot.
+func findMacroSpot(d *db.Design, c *db.Cell, obstacles []geom.Rect, rowH, siteW float64) (geom.Point, bool) {
+	w, h := c.W(), c.H()
+	die := d.Die
+	// Desired lattice position, clamped so the macro fits.
+	clampX := func(x float64) float64 {
+		x = math.Round((x-die.Lo.X)/siteW)*siteW + die.Lo.X
+		return math.Max(die.Lo.X, math.Min(x, die.Hi.X-w))
+	}
+	clampY := func(y float64) float64 {
+		y = math.Round((y-die.Lo.Y)/rowH)*rowH + die.Lo.Y
+		return math.Max(die.Lo.Y, math.Min(y, die.Hi.Y-h))
+	}
+	fits := func(p geom.Point) bool {
+		r := geom.Rect{Lo: p, Hi: geom.Point{X: p.X + w, Y: p.Y + h}}
+		if !die.ContainsRect(r) {
+			return false
+		}
+		for _, o := range obstacles {
+			if o.Overlaps(r) {
+				return false
+			}
+		}
+		return true
+	}
+	cx, cy := clampX(c.Pos.X), clampY(c.Pos.Y)
+	if fits(geom.Point{X: cx, Y: cy}) {
+		return geom.Point{X: cx, Y: cy}, true
+	}
+	// Spiral search over ring offsets in lattice steps; step sizes grow
+	// with the macro so the search covers the die in bounded work.
+	stepX := math.Max(siteW, w/4)
+	stepY := math.Max(rowH, h/4)
+	maxRing := int(math.Ceil(math.Max(die.W()/stepX, die.H()/stepY)))
+	for ring := 1; ring <= maxRing; ring++ {
+		bestD := math.Inf(1)
+		var best geom.Point
+		found := false
+		for _, off := range ringOffsets(ring) {
+			p := geom.Point{
+				X: clampX(c.Pos.X + float64(off[0])*stepX),
+				Y: clampY(c.Pos.Y + float64(off[1])*stepY),
+			}
+			if !fits(p) {
+				continue
+			}
+			dd := math.Abs(p.X-c.Pos.X) + math.Abs(p.Y-c.Pos.Y)
+			if dd < bestD {
+				bestD, best, found = dd, p, true
+			}
+		}
+		if found {
+			return best, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// ringOffsets enumerates the lattice offsets on the square ring of radius r.
+func ringOffsets(r int) [][2]int {
+	var out [][2]int
+	for dx := -r; dx <= r; dx++ {
+		out = append(out, [2]int{dx, -r}, [2]int{dx, r})
+	}
+	for dy := -r + 1; dy < r; dy++ {
+		out = append(out, [2]int{-r, dy}, [2]int{r, dy})
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+func ExampleGeoMean() {
+	fmt.Println(metrics.GeoMean([]float64{2, 8}))
+	// Output:
+	// 4
+}
+
+func ExampleSeries() {
+	s := metrics.Series{Name: "rc"}
+	s.Add(1, 120)
+	s.Add(2, 108)
+	fmt.Print(s.String())
+	// Output:
+	// rc	1	120
+	// rc	2	108
+}

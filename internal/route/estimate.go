@@ -1,0 +1,92 @@
+package route
+
+import (
+	"math"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// EstimateRUDY fills the grid's demands with the RUDY probabilistic
+// congestion estimate: each net smears one horizontal track over its
+// bounding box per unit of box height (so a net of width w contributes
+// w/TileW tracks to each fully covered horizontal edge, weighted by
+// vertical coverage) and symmetrically for vertical demand. Degenerate
+// boxes get a one-tile extent so short nets still register.
+//
+// The estimate is the placer's inner-loop congestion signal: O(#nets)
+// with small constants, no routing.
+func (g *Grid) EstimateRUDY(d *db.Design) {
+	g.ResetDemand()
+	for ni := range d.Nets {
+		if d.Nets[ni].Degree() < 2 {
+			continue
+		}
+		bb := d.NetBBox(ni)
+		w := d.Nets[ni].Weight
+		if w == 0 {
+			w = 1
+		}
+		g.addRUDYBox(bb, w)
+	}
+}
+
+// addRUDYBox adds one net bounding box's probabilistic demand.
+func (g *Grid) addRUDYBox(bb geom.Rect, weight float64) {
+	// Widen degenerate boxes to one tile so pure-horizontal nets still
+	// demand vertical capacity for their pin access and vice versa.
+	if bb.W() < g.TileW {
+		c := (bb.Lo.X + bb.Hi.X) / 2
+		bb.Lo.X, bb.Hi.X = c-g.TileW/2, c+g.TileW/2
+	}
+	if bb.H() < g.TileH {
+		c := (bb.Lo.Y + bb.Hi.Y) / 2
+		bb.Lo.Y, bb.Hi.Y = c-g.TileH/2, c+g.TileH/2
+	}
+	// A net spanning the box is expected to use ~1 horizontal track over
+	// its width at some y in the box: per horizontal edge the expected
+	// demand is (edge span covered) / (box height in tiles).
+	hTracks := weight / math.Max(1, bb.H()/g.TileH)
+	vTracks := weight / math.Max(1, bb.W()/g.TileW)
+
+	tx0, ty0 := g.TileOf(bb.Lo)
+	tx1, ty1 := g.TileOf(geom.Point{X: bb.Hi.X - 1e-9, Y: bb.Hi.Y - 1e-9})
+	for ty := ty0; ty <= ty1; ty++ {
+		// Vertical coverage fraction of this tile row by the box.
+		tileY := geom.Interval{Lo: g.Origin.Y + float64(ty)*g.TileH, Hi: g.Origin.Y + float64(ty+1)*g.TileH}
+		fy := tileY.Overlap(bb.YInterval()) / g.TileH
+		for tx := tx0; tx < tx1; tx++ {
+			// Horizontal edge (tx,ty)-(tx+1,ty) lies inside the box span.
+			g.HDem[g.HIdx(tx, ty)] += hTracks * fy
+		}
+	}
+	for tx := tx0; tx <= tx1; tx++ {
+		tileX := geom.Interval{Lo: g.Origin.X + float64(tx)*g.TileW, Hi: g.Origin.X + float64(tx+1)*g.TileW}
+		fx := tileX.Overlap(bb.XInterval()) / g.TileW
+		for ty := ty0; ty < ty1; ty++ {
+			g.VDem[g.VIdx(tx, ty)] += vTracks * fx
+		}
+	}
+}
+
+// EstimatePins adds local pin-access demand: tiles crowded with pins need
+// extra tracks to escape them. Each pin adds `perPin` tracks of demand to
+// the edges of its tile, split between directions.
+func (g *Grid) EstimatePins(d *db.Design, perPin float64) {
+	for pi := range d.Pins {
+		p := d.PinPos(pi)
+		tx, ty := g.TileOf(p)
+		if tx < g.NX-1 {
+			g.HDem[g.HIdx(tx, ty)] += perPin / 2
+		}
+		if tx > 0 {
+			g.HDem[g.HIdx(tx-1, ty)] += perPin / 2
+		}
+		if ty < g.NY-1 {
+			g.VDem[g.VIdx(tx, ty)] += perPin / 2
+		}
+		if ty > 0 {
+			g.VDem[g.VIdx(tx, ty-1)] += perPin / 2
+		}
+	}
+}

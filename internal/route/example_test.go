@@ -1,0 +1,19 @@
+package route_test
+
+import (
+	"fmt"
+
+	"repro/internal/route"
+)
+
+func ExampleRC() {
+	// An ACE profile of 1.20/1.10/1.05/1.00 (20% over capacity in the
+	// hottest half-percent of edges) maps to the contest RC index.
+	ace := []float64{1.20, 1.10, 1.05, 1.00}
+	rc := route.RC(ace)
+	fmt.Printf("RC %.2f\n", rc)
+	fmt.Printf("sHPWL of 1000: %.1f\n", route.ScaledHPWL(1000, rc))
+	// Output:
+	// RC 108.75
+	// sHPWL of 1000: 1262.5
+}

@@ -1,0 +1,494 @@
+package route
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/steiner"
+)
+
+// RouterOptions tunes the negotiated global router.
+type RouterOptions struct {
+	// MaxRRRIters is the number of rip-up-and-reroute rounds after the
+	// initial pattern-routing pass (default 4).
+	MaxRRRIters int
+	// HistoryInc is added to every overflowed edge's history cost per
+	// round (default 0.5).
+	HistoryInc float64
+	// OverflowPenalty is the cost slope per unit of overflow (default 8).
+	OverflowPenalty float64
+	// ZSamples is the number of intermediate bend positions tried per
+	// Z-shape direction in pattern routing (default 8).
+	ZSamples int
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.MaxRRRIters <= 0 {
+		o.MaxRRRIters = 4
+	}
+	if o.HistoryInc <= 0 {
+		o.HistoryInc = 0.5
+	}
+	if o.OverflowPenalty <= 0 {
+		o.OverflowPenalty = 8
+	}
+	if o.ZSamples <= 0 {
+		o.ZSamples = 8
+	}
+	return o
+}
+
+// tile is a grid coordinate.
+type tile struct{ x, y int }
+
+// segment is one two-pin connection produced by net decomposition, with
+// its current route as a tile path.
+type segment struct {
+	net  int
+	a, b tile
+	path []tile
+}
+
+// Router routes a design over a Grid and accumulates demand on it.
+type Router struct {
+	G    *Grid
+	opt  RouterOptions
+	segs []segment
+}
+
+// NewRouter wraps a grid (whose demand it owns during routing).
+func NewRouter(g *Grid, opt RouterOptions) *Router {
+	return &Router{G: g, opt: opt.withDefaults()}
+}
+
+// Result summarizes one routing run.
+type Result struct {
+	// Segments is the number of routed two-pin segments.
+	Segments int
+	// WirelengthTiles is the total routed length in tile crossings.
+	WirelengthTiles int
+	// InitialOverflow is the overflow after the pattern-routing pass,
+	// before any rip-up rounds.
+	InitialOverflow float64
+	// Overflow is the total demand above capacity, in tracks.
+	Overflow float64
+	// MaxCongestion is the worst edge utilization.
+	MaxCongestion float64
+	// RRRIters is the number of rip-up rounds actually run.
+	RRRIters int
+}
+
+// RouteDesign decomposes every net into Steiner-tree segments over pin tiles,
+// pattern-routes them, then rips up and reroutes through congestion until
+// overflow clears or the round budget is exhausted. Demand is left on the
+// grid for metric extraction.
+func (r *Router) RouteDesign(d *db.Design) Result {
+	r.G.ResetDemand()
+	r.G.ResetHistory()
+	r.segs = r.segs[:0]
+	for ni := range d.Nets {
+		r.decompose(d, ni)
+	}
+	// Initial pass: short segments first so long nets negotiate around
+	// the fabric the short ones already claimed.
+	order := make([]int, len(r.segs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := &r.segs[order[i]], &r.segs[order[j]]
+		di := abs(si.a.x-si.b.x) + abs(si.a.y-si.b.y)
+		dj := abs(sj.a.x-sj.b.x) + abs(sj.a.y-sj.b.y)
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	for _, si := range order {
+		s := &r.segs[si]
+		s.path = r.patternRoute(s.a, s.b)
+		r.commit(s.path, +1)
+	}
+
+	res := Result{Segments: len(r.segs), InitialOverflow: r.G.TotalOverflow()}
+	for iter := 0; iter < r.opt.MaxRRRIters; iter++ {
+		if r.G.TotalOverflow() <= 0 {
+			break
+		}
+		res.RRRIters = iter + 1
+		r.bumpHistory()
+		for si := range r.segs {
+			s := &r.segs[si]
+			if !r.pathOverflows(s.path) {
+				continue
+			}
+			r.commit(s.path, -1)
+			s.path = r.mazeRoute(s.a, s.b)
+			r.commit(s.path, +1)
+		}
+	}
+	for si := range r.segs {
+		res.WirelengthTiles += len(r.segs[si].path) - 1
+	}
+	res.Overflow = r.G.TotalOverflow()
+	res.MaxCongestion = r.G.MaxCongestion()
+	return res
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// decompose maps a net's pins to distinct tiles and adds the edges of a
+// rectilinear Steiner tree over them as two-pin segments. Steiner points
+// become ordinary route endpoints, so shared trunks are routed (and their
+// demand counted) once instead of per pin pair.
+func (r *Router) decompose(d *db.Design, ni int) {
+	net := &d.Nets[ni]
+	if net.Degree() < 2 {
+		return
+	}
+	seen := make(map[tile]bool, net.Degree())
+	var pts []steiner.Point
+	for _, pi := range net.Pins {
+		tx, ty := r.G.TileOf(d.PinPos(pi))
+		tl := tile{tx, ty}
+		if !seen[tl] {
+			seen[tl] = true
+			pts = append(pts, steiner.Point{X: tx, Y: ty})
+		}
+	}
+	if len(pts) < 2 {
+		return
+	}
+	tree := steiner.Build(pts)
+	for _, e := range tree.Edges {
+		a := tree.Points[e.A]
+		b := tree.Points[e.B]
+		if a == b {
+			continue
+		}
+		r.segs = append(r.segs, segment{net: ni, a: tile{a.X, a.Y}, b: tile{b.X, b.Y}})
+	}
+}
+
+// edgeCost is the negotiated cost of pushing one more track through an
+// edge with the given demand, capacity and history.
+func (r *Router) edgeCost(dem, cap, hist float64) float64 {
+	c := 1 + hist
+	if cap <= 0 {
+		return c * (1 + r.opt.OverflowPenalty*(dem+1))
+	}
+	if over := dem + 1 - cap; over > 0 {
+		c *= 1 + r.opt.OverflowPenalty*over/cap
+	}
+	return c
+}
+
+func (r *Router) hCost(x, y int) float64 {
+	i := r.G.HIdx(x, y)
+	return r.edgeCost(r.G.HDem[i], r.G.HCap[i], r.G.HHist[i])
+}
+
+func (r *Router) vCost(x, y int) float64 {
+	i := r.G.VIdx(x, y)
+	return r.edgeCost(r.G.VDem[i], r.G.VCap[i], r.G.VHist[i])
+}
+
+// pathCost sums the negotiated costs along a tile path.
+func (r *Router) pathCost(path []tile) float64 {
+	var c float64
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if a.y == b.y {
+			c += r.hCost(min(a.x, b.x), a.y)
+		} else {
+			c += r.vCost(a.x, min(a.y, b.y))
+		}
+	}
+	return c
+}
+
+// pathOverflows reports whether any edge on the path is over capacity.
+func (r *Router) pathOverflows(path []tile) bool {
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if a.y == b.y {
+			e := r.G.HIdx(min(a.x, b.x), a.y)
+			if r.G.HDem[e] > r.G.HCap[e] {
+				return true
+			}
+		} else {
+			e := r.G.VIdx(a.x, min(a.y, b.y))
+			if r.G.VDem[e] > r.G.VCap[e] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commit adds (dir=+1) or removes (dir=−1) one track of demand along path.
+func (r *Router) commit(path []tile, dir float64) {
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if a.y == b.y {
+			r.G.HDem[r.G.HIdx(min(a.x, b.x), a.y)] += dir
+		} else {
+			r.G.VDem[r.G.VIdx(a.x, min(a.y, b.y))] += dir
+		}
+	}
+}
+
+// bumpHistory raises history cost on every overflowed edge.
+func (r *Router) bumpHistory() {
+	for i := range r.G.HDem {
+		if r.G.HDem[i] > r.G.HCap[i] {
+			r.G.HHist[i] += r.opt.HistoryInc
+		}
+	}
+	for i := range r.G.VDem {
+		if r.G.VDem[i] > r.G.VCap[i] {
+			r.G.VHist[i] += r.opt.HistoryInc
+		}
+	}
+}
+
+// hSpan appends the tiles of a horizontal run from (x0,y) to (x1,y)
+// exclusive of the first tile.
+func hSpan(path []tile, x0, x1, y int) []tile {
+	step := 1
+	if x1 < x0 {
+		step = -1
+	}
+	for x := x0 + step; ; x += step {
+		path = append(path, tile{x, y})
+		if x == x1 {
+			break
+		}
+	}
+	return path
+}
+
+// patternRoute picks the cheapest of the L- and sampled Z-shaped routes
+// between a and b under current negotiated costs.
+func (r *Router) patternRoute(a, b tile) []tile {
+	if a == b {
+		return []tile{a}
+	}
+	var best []tile
+	bestCost := math.Inf(1)
+	try := func(path []tile) {
+		if c := r.pathCost(path); c < bestCost {
+			bestCost = c
+			best = path
+		}
+	}
+	if a.x == b.x {
+		try(buildZPath(a, b, a.x, true))
+		// Also consider small detours one column away when congested.
+		if a.x+1 < r.G.NX {
+			try(buildZPath(a, b, a.x+1, true))
+		}
+		if a.x-1 >= 0 {
+			try(buildZPath(a, b, a.x-1, true))
+		}
+		return best
+	}
+	if a.y == b.y {
+		try(buildZPath(a, b, a.y, false))
+		if a.y+1 < r.G.NY {
+			try(buildZPath(a, b, a.y+1, false))
+		}
+		if a.y-1 >= 0 {
+			try(buildZPath(a, b, a.y-1, false))
+		}
+		return best
+	}
+	// L shapes: bend at (b.x, a.y) or (a.x, b.y) — these are the z-shape
+	// extremes, covered by the sweeps below at k = 0 and k = n.
+	// Vertical-bend Z: horizontal at y=a.y to column c, vertical to b.y,
+	// horizontal to b.x.
+	cols := sampleBetween(a.x, b.x, r.opt.ZSamples)
+	for _, c := range cols {
+		try(buildZPath(a, b, c, true))
+	}
+	rows := sampleBetween(a.y, b.y, r.opt.ZSamples)
+	for _, c := range rows {
+		try(buildZPath(a, b, c, false))
+	}
+	return best
+}
+
+// sampleBetween returns up to n+2 evenly spaced integers covering [a, b]
+// inclusive (order-normalized, endpoints always included).
+func sampleBetween(a, b, n int) []int {
+	if a > b {
+		a, b = b, a
+	}
+	span := b - a
+	if span <= n {
+		out := make([]int, 0, span+1)
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+		return out
+	}
+	out := make([]int, 0, n+2)
+	for i := 0; i <= n+1; i++ {
+		out = append(out, a+span*i/(n+1))
+	}
+	return out
+}
+
+// buildZPath builds the Z-shaped path from a to b bending at column c
+// (vertical=true: run horizontally to c, vertically to b.y, horizontally
+// to b.x) or at row c (vertical=false, transposed).
+func buildZPath(a, b tile, c int, vertical bool) []tile {
+	path := []tile{a}
+	if vertical {
+		if c != a.x {
+			path = hSpan(path, a.x, c, a.y)
+		}
+		if b.y != a.y {
+			path = vSpanSimple(path, a.y, b.y, c)
+		}
+		if b.x != c {
+			path = hSpan(path, c, b.x, b.y)
+		}
+	} else {
+		if c != a.y {
+			path = vSpanSimple(path, a.y, c, a.x)
+		}
+		if b.x != a.x {
+			path = hSpan(path, a.x, b.x, c)
+		}
+		if b.y != c {
+			path = vSpanSimple(path, c, b.y, b.x)
+		}
+	}
+	return path
+}
+
+// vSpanSimple appends tiles from (x, y0) to (x, y1), excluding the first.
+func vSpanSimple(path []tile, y0, y1, x int) []tile {
+	step := 1
+	if y1 < y0 {
+		step = -1
+	}
+	for y := y0 + step; ; y += step {
+		path = append(path, tile{x, y})
+		if y == y1 {
+			break
+		}
+	}
+	return path
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	tile tile
+	cost float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].cost < p[j].cost }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
+
+// mazeRoute runs Dijkstra over the tile graph under negotiated edge costs.
+func (r *Router) mazeRoute(a, b tile) []tile {
+	nx, ny := r.G.NX, r.G.NY
+	n := nx * ny
+	dist := make([]float64, n)
+	prev := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	id := func(t tile) int { return t.y*nx + t.x }
+	start, goal := id(a), id(b)
+	dist[start] = 0
+	q := &pq{{a, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := id(it.tile)
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == goal {
+			break
+		}
+		t := it.tile
+		relax := func(v tile, c float64) {
+			vi := id(v)
+			if nd := dist[u] + c; nd < dist[vi] {
+				dist[vi] = nd
+				prev[vi] = int32(u)
+				heap.Push(q, pqItem{v, nd})
+			}
+		}
+		if t.x+1 < nx {
+			relax(tile{t.x + 1, t.y}, r.hCost(t.x, t.y))
+		}
+		if t.x-1 >= 0 {
+			relax(tile{t.x - 1, t.y}, r.hCost(t.x-1, t.y))
+		}
+		if t.y+1 < ny {
+			relax(tile{t.x, t.y + 1}, r.vCost(t.x, t.y))
+		}
+		if t.y-1 >= 0 {
+			relax(tile{t.x, t.y - 1}, r.vCost(t.x, t.y-1))
+		}
+	}
+	// Reconstruct.
+	if prev[goal] == -1 && goal != start {
+		// Unreachable should not happen on a connected grid; fall back to
+		// a pattern route.
+		return r.patternRoute(a, b)
+	}
+	var rev []tile
+	for u := goal; u != -1; {
+		rev = append(rev, tile{u % nx, u / nx})
+		if u == start {
+			break
+		}
+		u = int(prev[u])
+	}
+	path := make([]tile, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path
+}
+
+// SegmentsForNet returns the routed tile paths of a net (for tests and
+// visualization).
+func (r *Router) SegmentsForNet(ni int) [][]tile {
+	var out [][]tile
+	for i := range r.segs {
+		if r.segs[i].net == ni {
+			out = append(out, r.segs[i].path)
+		}
+	}
+	return out
+}
+
+// PinTileSpan is a helper for tests: the Manhattan tile distance between
+// two points on the grid.
+func (g *Grid) PinTileSpan(p, q geom.Point) int {
+	ax, ay := g.TileOf(p)
+	bx, by := g.TileOf(q)
+	return abs(ax-bx) + abs(ay-by)
+}

@@ -1,0 +1,19 @@
+package steiner_test
+
+import (
+	"fmt"
+
+	"repro/internal/steiner"
+)
+
+func ExampleBuild() {
+	// Three pins in an L: the tree meets at the median point (5, 5).
+	tree := steiner.Build([]steiner.Point{{X: 0, Y: 0}, {X: 10, Y: 5}, {X: 5, Y: 10}})
+	fmt.Println("terminals:", tree.Terminals)
+	fmt.Println("points:", len(tree.Points))
+	fmt.Println("length:", tree.Length())
+	// Output:
+	// terminals: 3
+	// points: 4
+	// length: 20
+}

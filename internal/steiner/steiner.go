@@ -1,0 +1,251 @@
+// Package steiner builds rectilinear Steiner minimal-tree approximations
+// for net decomposition. The global router's two-pin segments come from
+// these trees: a 3-pin net meets at its median point, and larger nets are
+// improved from their spanning tree by the classic iterated 1-Steiner
+// heuristic over Hanan-grid candidates. Compared with plain MST
+// decomposition this shortens routed wirelength by the usual few percent
+// and, more importantly for congestion metrics, avoids double-counting
+// demand on shared trunks.
+package steiner
+
+import (
+	"sort"
+)
+
+// Point is an integer grid location (the router's tile coordinates).
+type Point struct {
+	X, Y int
+}
+
+// Edge joins two points of the tree by index into the point list returned
+// alongside it.
+type Edge struct {
+	A, B int
+}
+
+// Tree is a rectilinear Steiner tree: Points contains the original
+// terminals first (in input order) followed by any added Steiner points;
+// Edges connect point indices.
+type Tree struct {
+	Points []Point
+	Edges  []Edge
+	// Terminals is the number of original points at the front of Points.
+	Terminals int
+}
+
+// Length returns the total rectilinear edge length of the tree.
+func (t *Tree) Length() int {
+	total := 0
+	for _, e := range t.Edges {
+		total += dist(t.Points[e.A], t.Points[e.B])
+	}
+	return total
+}
+
+func dist(a, b Point) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// maxIterated1Steiner bounds the terminal count for the O(n³)-ish
+// heuristic; larger nets keep their spanning tree.
+const maxIterated1Steiner = 24
+
+// Build returns a Steiner tree over the given terminals. Duplicate points
+// are tolerated (they simply yield zero-length edges pruned from the
+// output). One- and zero-terminal inputs produce an empty tree.
+func Build(terminals []Point) Tree {
+	t := Tree{Points: append([]Point(nil), terminals...), Terminals: len(terminals)}
+	switch len(terminals) {
+	case 0, 1:
+		return t
+	case 2:
+		t.Edges = []Edge{{0, 1}}
+		return t
+	case 3:
+		return threePin(t)
+	}
+	t.Edges = mstEdges(t.Points)
+	if len(terminals) <= maxIterated1Steiner {
+		iterated1Steiner(&t)
+	}
+	prune(&t)
+	return t
+}
+
+// threePin connects three terminals through their median point.
+func threePin(t Tree) Tree {
+	xs := []int{t.Points[0].X, t.Points[1].X, t.Points[2].X}
+	ys := []int{t.Points[0].Y, t.Points[1].Y, t.Points[2].Y}
+	sort.Ints(xs)
+	sort.Ints(ys)
+	med := Point{xs[1], ys[1]}
+	// If the median coincides with a terminal, connect directly.
+	for i := 0; i < 3; i++ {
+		if t.Points[i] == med {
+			for j := 0; j < 3; j++ {
+				if j != i {
+					t.Edges = append(t.Edges, Edge{i, j})
+				}
+			}
+			return t
+		}
+	}
+	t.Points = append(t.Points, med)
+	for i := 0; i < 3; i++ {
+		t.Edges = append(t.Edges, Edge{i, 3})
+	}
+	return t
+}
+
+// mstEdges builds Prim MST edges over pts under rectilinear distance.
+func mstEdges(pts []Point) []Edge {
+	n := len(pts)
+	inTree := make([]bool, n)
+	best := make([]int, n)
+	parent := make([]int, n)
+	for i := range best {
+		best[i] = 1 << 30
+		parent[i] = -1
+	}
+	best[0] = 0
+	var edges []Edge
+	for k := 0; k < n; k++ {
+		u := -1
+		for i := 0; i < n; i++ {
+			if !inTree[i] && (u == -1 || best[i] < best[u]) {
+				u = i
+			}
+		}
+		inTree[u] = true
+		if parent[u] >= 0 {
+			edges = append(edges, Edge{parent[u], u})
+		}
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := dist(pts[u], pts[v]); d < best[v] {
+					best[v] = d
+					parent[v] = u
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// mstLength is the MST length over pts (helper for gain evaluation).
+func mstLength(pts []Point) int {
+	total := 0
+	for _, e := range mstEdges(pts) {
+		total += dist(pts[e.A], pts[e.B])
+	}
+	return total
+}
+
+// iterated1Steiner repeatedly inserts the Hanan-grid point with the best
+// MST-length reduction until no candidate helps. The tree's edges are
+// rebuilt from the final point set.
+func iterated1Steiner(t *Tree) {
+	pts := t.Points
+	curLen := mstLength(pts)
+	for rounds := 0; rounds < len(t.Points); rounds++ {
+		// Hanan candidates from the current point set, enumerated in
+		// sorted order so tied gains resolve deterministically (map
+		// iteration order would make routed results drift run to run).
+		xsSet := map[int]bool{}
+		ysSet := map[int]bool{}
+		for _, p := range pts {
+			xsSet[p.X] = true
+			ysSet[p.Y] = true
+		}
+		xs := make([]int, 0, len(xsSet))
+		for x := range xsSet {
+			xs = append(xs, x)
+		}
+		sort.Ints(xs)
+		ys := make([]int, 0, len(ysSet))
+		for y := range ysSet {
+			ys = append(ys, y)
+		}
+		sort.Ints(ys)
+		existing := make(map[Point]bool, len(pts))
+		for _, p := range pts {
+			existing[p] = true
+		}
+		bestGain := 0
+		var bestPt Point
+		for _, x := range xs {
+			for _, y := range ys {
+				cand := Point{x, y}
+				if existing[cand] {
+					continue
+				}
+				trial := append(pts, cand)
+				if g := curLen - mstLength(trial); g > bestGain {
+					bestGain = g
+					bestPt = cand
+				}
+			}
+		}
+		if bestGain <= 0 {
+			break
+		}
+		pts = append(pts, bestPt)
+		curLen -= bestGain
+	}
+	t.Points = pts
+	t.Edges = mstEdges(pts)
+}
+
+// prune removes degree-≤1 Steiner points (and their dangling edges),
+// repeating until stable: iterated 1-Steiner can leave points that stopped
+// paying for themselves after later insertions.
+func prune(t *Tree) {
+	for {
+		deg := make([]int, len(t.Points))
+		for _, e := range t.Edges {
+			deg[e.A]++
+			deg[e.B]++
+		}
+		drop := -1
+		for i := t.Terminals; i < len(t.Points); i++ {
+			if deg[i] <= 1 {
+				drop = i
+				break
+			}
+		}
+		if drop == -1 {
+			// Also drop zero-length edges.
+			out := t.Edges[:0]
+			for _, e := range t.Edges {
+				if dist(t.Points[e.A], t.Points[e.B]) > 0 || e.A != e.B {
+					out = append(out, e)
+				}
+			}
+			t.Edges = out
+			return
+		}
+		// Remove point `drop`: filter its edges and reindex.
+		var edges []Edge
+		for _, e := range t.Edges {
+			if e.A == drop || e.B == drop {
+				continue
+			}
+			if e.A > drop {
+				e.A--
+			}
+			if e.B > drop {
+				e.B--
+			}
+			edges = append(edges, e)
+		}
+		t.Points = append(t.Points[:drop], t.Points[drop+1:]...)
+		t.Edges = edges
+	}
+}

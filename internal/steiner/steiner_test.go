@@ -1,0 +1,149 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// connected verifies the tree spans all terminals.
+func connected(t *Tree) bool {
+	if len(t.Points) == 0 {
+		return true
+	}
+	adj := make([][]int, len(t.Points))
+	for _, e := range t.Edges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	seen := make([]bool, len(t.Points))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for i := 0; i < t.Terminals; i++ {
+		if !seen[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTwoPin(t *testing.T) {
+	tr := Build([]Point{{0, 0}, {3, 4}})
+	if tr.Length() != 7 {
+		t.Errorf("length = %d", tr.Length())
+	}
+	if len(tr.Edges) != 1 {
+		t.Errorf("edges = %d", len(tr.Edges))
+	}
+}
+
+func TestThreePinMedian(t *testing.T) {
+	// L-shaped terminals: Steiner point at (5, 5) saves length.
+	tr := Build([]Point{{0, 0}, {10, 5}, {5, 10}})
+	// MST length would be (10+5=15 or via pairs) — Steiner through the
+	// median (5,5): 10 + 5 + 5 = 20 vs MST 15+10=25.
+	if got := tr.Length(); got != 20 {
+		t.Errorf("3-pin Steiner length = %d, want 20", got)
+	}
+	if !connected(&tr) {
+		t.Error("tree not connected")
+	}
+}
+
+func TestThreePinMedianOnTerminal(t *testing.T) {
+	// Median coincides with the middle terminal: no Steiner point added.
+	tr := Build([]Point{{0, 0}, {5, 5}, {10, 10}})
+	if len(tr.Points) != 3 {
+		t.Errorf("unexpected Steiner point: %v", tr.Points)
+	}
+	if tr.Length() != 20 {
+		t.Errorf("length = %d", tr.Length())
+	}
+}
+
+func TestFourPinCross(t *testing.T) {
+	// Four arms of a cross: MST costs 3·10=30+... Steiner at center: 4·5=20... use
+	// terminals at compass points distance 5 from center (5,5).
+	tr := Build([]Point{{5, 0}, {10, 5}, {5, 10}, {0, 5}})
+	if !connected(&tr) {
+		t.Fatal("not connected")
+	}
+	// Optimal rectilinear Steiner tree = 20 (single center point).
+	if got := tr.Length(); got > 20 {
+		t.Errorf("4-pin cross length = %d, want ≤ 20", got)
+	}
+}
+
+func TestSteinerNeverWorseThanMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(10)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Intn(50), rng.Intn(50)}
+		}
+		tr := Build(pts)
+		if !connected(&tr) {
+			t.Fatalf("trial %d: not connected", trial)
+		}
+		if tr.Length() > mstLength(pts) {
+			t.Fatalf("trial %d: steiner %d worse than MST %d", trial, tr.Length(), mstLength(pts))
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if tr := Build(nil); len(tr.Edges) != 0 {
+		t.Error("empty input produced edges")
+	}
+	if tr := Build([]Point{{1, 1}}); len(tr.Edges) != 0 {
+		t.Error("single point produced edges")
+	}
+	// Duplicates: tree still spans, zero length.
+	tr := Build([]Point{{2, 2}, {2, 2}})
+	if tr.Length() != 0 || !connected(&tr) {
+		t.Errorf("duplicate points: len=%d", tr.Length())
+	}
+}
+
+func TestLargeNetFallsBackToMST(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := make([]Point, maxIterated1Steiner+10)
+	for i := range pts {
+		pts[i] = Point{rng.Intn(100), rng.Intn(100)}
+	}
+	tr := Build(pts)
+	if len(tr.Points) != len(pts) {
+		t.Error("large net gained Steiner points despite cap")
+	}
+	if !connected(&tr) {
+		t.Error("not connected")
+	}
+}
+
+// Property: trees are connected and no longer than MST for random inputs.
+func TestTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Intn(30), rng.Intn(30)}
+		}
+		tr := Build(pts)
+		return connected(&tr) && tr.Length() <= mstLength(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package viz renders placements and congestion maps as standalone SVG
+// files, reproducing the visual figures of the evaluation (placement
+// snapshots, congestion heatmaps before/after the routability loop). Only
+// the standard library is used: SVG is written as text.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/db"
+	"repro/internal/route"
+)
+
+// PlacementSVG writes an SVG image of the design: die outline, rows
+// (implicit), fixed macros (dark), movable macros (medium), standard cells
+// (light), fence regions (colored outlines).
+func PlacementSVG(w io.Writer, d *db.Design, width float64) error {
+	if d.Die.Empty() {
+		return fmt.Errorf("viz: empty die")
+	}
+	scale := width / d.Die.W()
+	height := d.Die.H() * scale
+	// SVG y grows downward; flip so the die's lower-left is bottom-left.
+	fy := func(y, h float64) float64 { return height - (y-d.Die.Lo.Y+h)*scale }
+	fx := func(x float64) float64 { return (x - d.Die.Lo.X) * scale }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%.2f" height="%.2f" fill="#ffffff" stroke="#000000" stroke-width="1"/>`+"\n",
+		width, height)
+
+	// Fences first so cells draw over them.
+	fenceColors := []string{"#d95f02", "#7570b3", "#1b9e77", "#e7298a", "#66a61e", "#e6ab02"}
+	for ri := range d.Regions {
+		col := fenceColors[ri%len(fenceColors)]
+		for _, r := range d.Regions[ri].Rects {
+			fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.15" stroke="%s" stroke-width="1.5"/>`+"\n",
+				fx(r.Lo.X), fy(r.Lo.Y, r.H()), r.W()*scale, r.H()*scale, col, col)
+		}
+	}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Kind == db.Terminal || c.Area() == 0 {
+			continue
+		}
+		fill := "#9ecae1"
+		switch {
+		case c.Kind == db.Macro && c.Fixed && len(c.Pins) == 0:
+			fill = "#525252"
+		case c.Kind == db.Macro && c.Fixed:
+			fill = "#636363"
+		case c.Kind == db.Macro:
+			fill = "#fd8d3c"
+		}
+		r := c.Rect()
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="#3b3b3b" stroke-width="0.2"/>`+"\n",
+			fx(r.Lo.X), fy(r.Lo.Y, r.H()), math.Max(0.5, r.W()*scale), math.Max(0.5, r.H()*scale), fill)
+	}
+	// Terminals as small circles on the boundary.
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Kind != db.Terminal {
+			continue
+		}
+		fmt.Fprintf(w, `<circle cx="%.2f" cy="%.2f" r="2" fill="#e41a1c"/>`+"\n",
+			fx(c.Pos.X), fy(c.Pos.Y, 0))
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+// CongestionSVG writes a heatmap of the grid's per-tile congestion (the
+// TileCongestion map): white → green → yellow → red as utilization rises
+// past 100%.
+func CongestionSVG(w io.Writer, g *route.Grid, width float64) error {
+	if g.NX < 1 || g.NY < 1 {
+		return fmt.Errorf("viz: empty grid")
+	}
+	cong := g.TileCongestion()
+	tileW := width / float64(g.NX)
+	height := tileW * float64(g.NY)
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		width, height, width, height)
+	for ty := 0; ty < g.NY; ty++ {
+		for tx := 0; tx < g.NX; tx++ {
+			c := cong[ty*g.NX+tx]
+			fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				float64(tx)*tileW, float64(g.NY-1-ty)*tileW, tileW, tileW, heatColor(c))
+		}
+	}
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%.2f" height="%.2f" fill="none" stroke="#000" stroke-width="1"/>`+"\n", width, height)
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+// heatColor maps a congestion ratio to a color: 0 → white, 0.5 → green,
+// 1.0 → yellow, ≥1.5 → red.
+func heatColor(c float64) string {
+	if math.IsInf(c, 1) || c >= 1.5 {
+		return "#d73027"
+	}
+	switch {
+	case c <= 0:
+		return "#ffffff"
+	case c < 0.5:
+		// white → green
+		t := c / 0.5
+		return lerpColor(0xff, 0xff, 0xff, 0x66, 0xbd, 0x63, t)
+	case c < 1.0:
+		// green → yellow
+		t := (c - 0.5) / 0.5
+		return lerpColor(0x66, 0xbd, 0x63, 0xfe, 0xe0, 0x8b, t)
+	default:
+		// yellow → red
+		t := (c - 1.0) / 0.5
+		return lerpColor(0xfe, 0xe0, 0x8b, 0xd7, 0x30, 0x27, t)
+	}
+}
+
+func lerpColor(r1, g1, b1, r2, g2, b2 int, t float64) string {
+	lerp := func(a, b int) int { return a + int(t*float64(b-a)) }
+	return fmt.Sprintf("#%02x%02x%02x", lerp(r1, r2), lerp(g1, g2), lerp(b1, b2))
+}

@@ -1,0 +1,77 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/route"
+)
+
+func TestPlacementSVG(t *testing.T) {
+	d := gen.MustGenerate(gen.Config{
+		Name: "v", Seed: 1, NumStdCells: 50, NumFixedMacros: 1,
+		NumMovableMacros: 1, NumModules: 2, NumFences: 1, NumTerminals: 4,
+		TargetUtil: 0.5,
+	})
+	var b strings.Builder
+	if err := PlacementSVG(&b, d, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	// One rect per space-occupying cell plus die plus fence.
+	rects := strings.Count(out, "<rect")
+	if rects < 52 {
+		t.Errorf("only %d rects", rects)
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Error("terminals missing")
+	}
+}
+
+func TestPlacementSVGEmptyDie(t *testing.T) {
+	var b strings.Builder
+	if err := PlacementSVG(&b, &db.Design{}, 100); err == nil {
+		t.Error("expected error for empty die")
+	}
+}
+
+func TestCongestionSVG(t *testing.T) {
+	g := route.NewUniformGrid(geom.NewRect(0, 0, 100, 100), 10, 10, 10, 10)
+	g.HDem[g.HIdx(4, 5)] = 20 // hot edge
+	var b strings.Builder
+	if err := CongestionSVG(&b, g, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "<rect") < 100 {
+		t.Error("missing tiles")
+	}
+	if !strings.Contains(out, "#ffffff") {
+		t.Error("cold tiles should be white")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	if heatColor(0) != "#ffffff" {
+		t.Errorf("cold = %s", heatColor(0))
+	}
+	if heatColor(2.0) != "#d73027" {
+		t.Errorf("hot = %s", heatColor(2))
+	}
+	// Colors at ramp knots are exact.
+	if heatColor(0.4999999) == heatColor(0.999999) {
+		t.Error("ramp not varying")
+	}
+	for _, c := range []float64{0.1, 0.3, 0.6, 0.9, 1.2, 1.49} {
+		col := heatColor(c)
+		if len(col) != 7 || col[0] != '#' {
+			t.Errorf("bad color %q at %v", col, c)
+		}
+	}
+}

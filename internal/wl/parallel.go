@@ -1,0 +1,113 @@
+package wl
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel wraps a Model and evaluates it with a worker pool: nets are
+// partitioned across workers, each accumulating into a private gradient
+// buffer, and the buffers are reduced in parallel slabs. Results are
+// bit-for-bit independent of the worker count only up to floating-point
+// reassociation; the reduction order is deterministic for a fixed worker
+// count, which keeps placement runs reproducible.
+type Parallel struct {
+	Model   Model
+	Workers int
+
+	mu     sync.Mutex
+	bufs   [][]float64 // per-worker [2n] gradient scratch
+	shards []float64   // per-worker partial objective values
+}
+
+// NewParallel wraps model with the given worker count (≤ 0 selects
+// GOMAXPROCS, capped at 8 — wirelength evaluation saturates memory
+// bandwidth before core count on typical hosts).
+func NewParallel(model Model, workers int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &Parallel{Model: model, Workers: workers}
+}
+
+// Name implements Model.
+func (p *Parallel) Name() string { return p.Model.Name() + "-parallel" }
+
+// Eval implements Model.
+func (p *Parallel) Eval(nl *Netlist, x, y []float64, gx, gy []float64) float64 {
+	w := p.Workers
+	if w == 1 || len(nl.Nets) < 4*w {
+		return p.Model.Eval(nl, x, y, gx, gy)
+	}
+	n := nl.NumObjs
+	p.mu.Lock()
+	if len(p.bufs) < w || (len(p.bufs) > 0 && len(p.bufs[0]) < 2*n) {
+		p.bufs = make([][]float64, w)
+		for i := range p.bufs {
+			p.bufs[i] = make([]float64, 2*n)
+		}
+		p.shards = make([]float64, w)
+	}
+	bufs := p.bufs[:w]
+	shards := p.shards[:w]
+	p.mu.Unlock()
+
+	needGrad := gx != nil || gy != nil
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			lo := len(nl.Nets) * k / w
+			hi := len(nl.Nets) * (k + 1) / w
+			sub := Netlist{Nets: nl.Nets[lo:hi], NumObjs: n}
+			var bgx, bgy []float64
+			if needGrad {
+				buf := bufs[k]
+				for i := range buf {
+					buf[i] = 0
+				}
+				bgx, bgy = buf[:n], buf[n:]
+			}
+			shards[k] = p.Model.Eval(&sub, x, y, bgx, bgy)
+		}(k)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range shards {
+		total += s
+	}
+	if needGrad {
+		// Parallel reduction over index slabs: each goroutine owns a
+		// disjoint range of object indices, so no write contention.
+		var rg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			rg.Add(1)
+			go func(k int) {
+				defer rg.Done()
+				lo := n * k / w
+				hi := n * (k + 1) / w
+				for _, buf := range bufs {
+					if gx != nil {
+						for i := lo; i < hi; i++ {
+							gx[i] += buf[i]
+						}
+					}
+					if gy != nil {
+						for i := lo; i < hi; i++ {
+							gy[i] += buf[n+i]
+						}
+					}
+				}
+			}(k)
+		}
+		rg.Wait()
+	}
+	return total
+}
