@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build check vet fmt test race bench bench-router
+
+all: check
+
+build:
+	$(GO) build ./...
+
+# check is the pre-commit gate: vet, formatting, the full test suite and
+# the race detector over the concurrent packages.
+check: vet fmt test race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/...
+
+# Table-2 style placement benchmarks (see DESIGN.md).
+bench:
+	$(GO) test -bench Table2 -benchmem -run xxx .
+
+# Router micro-benchmarks plus the machine-readable BENCH_router.json.
+bench-router:
+	$(GO) test -bench . -benchmem -run xxx ./internal/route/
+	$(GO) run ./cmd/benchroute

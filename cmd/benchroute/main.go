@@ -1,0 +1,186 @@
+// Command benchroute is a small benchmark driver for the negotiated
+// global router. It routes congestion-prone synthetic designs at one or
+// more worker counts and emits a machine-readable JSON report
+// (BENCH_router.json by default) — segments per second, allocations per
+// rerouted segment, final overflow — so the performance trajectory can be
+// tracked across commits.
+//
+// Usage:
+//
+//	go run ./cmd/benchroute                 # default suite -> BENCH_router.json
+//	go run ./cmd/benchroute -cells 4000 -workers 1,8 -out -   # print to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/par"
+	"repro/internal/route"
+)
+
+// Run is one measured router configuration.
+type Run struct {
+	Design      string  `json:"design"`
+	Cells       int     `json:"cells"`
+	Workers     int     `json:"workers"`
+	Segments    int     `json:"segments"`
+	RRRIters    int     `json:"rrr_iters"`
+	WallSeconds float64 `json:"wall_seconds"`
+	SegmentsSec float64 `json:"segments_per_sec"`
+	// AllocsPerOp and BytesPerOp are per routed segment, measured on a
+	// warm router (second RouteDesign call — the routability loop's
+	// steady state).
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	BytesPerOp      float64 `json:"bytes_per_op"`
+	InitialOverflow float64 `json:"initial_overflow"`
+	Overflow        float64 `json:"overflow"`
+	MaxCongestion   float64 `json:"max_congestion"`
+}
+
+// Report is the whole emitted document.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       []Run  `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "BENCH_router.json", "output file (- for stdout)")
+		cells   = flag.String("cells", "800,2000", "comma-separated design sizes")
+		workers = flag.String("workers", "", "comma-separated worker counts (default \"1,<auto>\")")
+		seed    = flag.Int64("seed", 3, "benchmark design seed")
+		repeat  = flag.Int("repeat", 3, "timed repetitions per configuration (best wall time wins)")
+	)
+	flag.Parse()
+
+	wlist, err := parseInts(*workers)
+	if err != nil {
+		return err
+	}
+	if len(wlist) == 0 {
+		wlist = []int{1}
+		if auto := par.DefaultWorkers(); auto != 1 {
+			wlist = append(wlist, auto)
+		}
+	}
+	clist, err := parseInts(*cells)
+	if err != nil {
+		return err
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range clist {
+		for _, w := range wlist {
+			r, err := measure(n, *seed, w, *repeat)
+			if err != nil {
+				return err
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Fprintf(os.Stderr, "%s workers=%d: %d segs in %.3fs (%.0f segs/s, %.1f allocs/op, overflow %.0f)\n",
+				r.Design, w, r.Segments, r.WallSeconds, r.SegmentsSec, r.AllocsPerOp, r.Overflow)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+func measure(cells int, seed int64, workers, repeat int) (Run, error) {
+	d := gen.MustGenerate(gen.Congested(cells, seed))
+	// Deterministic spread so nets have extent without running placement.
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%97)/97*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*61)%89)/89*d.Die.H(),
+		})
+	}
+	g, err := route.NewGrid(d)
+	if err != nil {
+		return Run{}, err
+	}
+	r := route.NewRouter(g, route.RouterOptions{Workers: workers})
+	res := r.RouteDesign(d) // warm-up: size every scratch buffer
+	run := Run{
+		Design:          d.Name,
+		Cells:           cells,
+		Workers:         r.Workers(),
+		Segments:        res.Segments,
+		RRRIters:        res.RRRIters,
+		InitialOverflow: res.InitialOverflow,
+		Overflow:        res.Overflow,
+		MaxCongestion:   res.MaxCongestion,
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	var m0, m1 runtime.MemStats
+	best := time.Duration(1<<63 - 1)
+	var allocs, bytes uint64
+	for i := 0; i < repeat; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		res = r.RouteDesign(d)
+		el := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		if el < best {
+			best = el
+			allocs = m1.Mallocs - m0.Mallocs
+			bytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+	}
+	run.WallSeconds = best.Seconds()
+	if run.WallSeconds > 0 {
+		run.SegmentsSec = float64(res.Segments) / run.WallSeconds
+	}
+	if res.Segments > 0 {
+		run.AllocsPerOp = float64(allocs) / float64(res.Segments)
+		run.BytesPerOp = float64(bytes) / float64(res.Segments)
+	}
+	return run, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

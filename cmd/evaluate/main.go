@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,10 +40,38 @@ func run() error {
 		plPath  = flag.String("pl", "", "alternative .pl with the placement to score")
 		svgPath = flag.String("svg", "", "write a congestion heatmap SVG here")
 		rrr     = flag.Int("rrr", 0, "rip-up and reroute rounds (0 = default)")
+		workers = flag.Int("workers", 0, "router worker count (0 = auto, honors REPRO_WORKERS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *auxPath == "" {
 		return fmt.Errorf("need -aux (run with -h for usage)")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate: memprofile:", err)
+			}
+		}()
 	}
 	d, err := bookshelf.ReadDesign(*auxPath)
 	if err != nil {
@@ -60,7 +90,7 @@ func run() error {
 		fmt.Printf("HPWL %.6g (no .route file: congestion scoring skipped)\n", d.HPWL())
 		return nil
 	}
-	m, err := route.EvaluateDesign(d, route.RouterOptions{MaxRRRIters: *rrr})
+	m, err := route.EvaluateDesign(d, route.RouterOptions{MaxRRRIters: *rrr, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -76,7 +106,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		r := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: *rrr})
+		r := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: *rrr, Workers: *workers})
 		r.RouteDesign(d)
 		f, err := os.Create(*svgPath)
 		if err != nil {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bookshelf"
@@ -54,8 +56,37 @@ func run() error {
 		svg       = flag.Bool("svg", false, "write placement and congestion SVGs")
 		rowFlip   = flag.Bool("row-flip", false, "flip alternate rows (FS) for power-rail sharing after placement")
 		evaluate  = flag.Bool("evaluate", true, "globally route and report RC / scaled HPWL")
+		workers   = flag.Int("workers", 0, "worker count for parallel kernels (0 = auto, honors REPRO_WORKERS)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "placer: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "placer: memprofile:", err)
+			}
+		}()
+	}
 
 	d, err := loadDesign(*auxPath, *synth, *seed)
 	if err != nil {
@@ -66,6 +97,7 @@ func run() error {
 	cfg := core.Config{
 		Model:              *model,
 		TargetDensity:      *density,
+		Workers:            *workers,
 		DisableRoutability: *noRoute,
 		DisableMultilevel:  *noML,
 		DisableFences:      *noFence,
@@ -100,7 +132,7 @@ func run() error {
 		GPTime: res.GPTime, TotalTime: total,
 	}
 	if *evaluate && d.Route != nil {
-		m, err := route.EvaluateDesign(d, route.RouterOptions{})
+		m, err := route.EvaluateDesign(d, route.RouterOptions{Workers: *workers})
 		if err != nil {
 			return err
 		}

@@ -252,9 +252,9 @@ func TestReaderRejectsCorruptRoute(t *testing.T) {
 		return r
 	}
 	cases := []string{
-		"route 1.0\nGrid : 2",                        // short grid
-		"route 1.0\nGrid : x 2 1",                    // bad int
-		"route 1.0\nTileSize : 10",                   // short tile
+		"route 1.0\nGrid : 2",                         // short grid
+		"route 1.0\nGrid : x 2 1",                     // bad int
+		"route 1.0\nTileSize : 10",                    // short tile
 		"route 1.0\nNumBlockageNodes : 1\n\tnope 1 1", // unknown node
 		"route 1.0\nNumBlockageNodes : 2\n\tc0 1 1",   // truncated list
 		"UCLA pl 1.0\nGrid : 2 2 1",                   // wrong header
@@ -284,11 +284,11 @@ func TestReaderRejectsCorruptFence(t *testing.T) {
 func TestReaderRejectsCorruptHier(t *testing.T) {
 	base := "UCLA nodes 1.0\nc0 4 2\n"
 	cases := []string{
-		"UCLA hier 1.0\nModule m : parent 5 fence -\nNumCells : 0",  // forward parent
-		"UCLA hier 1.0\nModule m : parent -1 fence nofence\nNumCells : 0", // unknown fence
+		"UCLA hier 1.0\nModule m : parent 5 fence -\nNumCells : 0",           // forward parent
+		"UCLA hier 1.0\nModule m : parent -1 fence nofence\nNumCells : 0",    // unknown fence
 		"UCLA hier 1.0\nModule m : parent -1 fence -\nNumCells : 1\n\tghost", // unknown cell
-		"UCLA hier 1.0\nModule m : parent -1 fence -",               // missing NumCells
-		"UCLA hier 1.0\nnot a module line",                          // malformed
+		"UCLA hier 1.0\nModule m : parent -1 fence -",                        // missing NumCells
+		"UCLA hier 1.0\nnot a module line",                                   // malformed
 	}
 	for _, in := range cases {
 		r := &reader{design: &db.Design{}, cellIdx: map[string]int{}, fenceIdx: map[string]int{}}

@@ -40,6 +40,14 @@ type Config struct {
 	// the bin dimension (default 0.8).
 	GammaFactor float64
 
+	// Workers is the worker count for the parallel kernels (wirelength
+	// gradients, density penalty, global routing). 0 selects the shared
+	// automatic policy (internal/par: REPRO_WORKERS env override, else
+	// GOMAXPROCS capped); 1 forces serial evaluation. Placement results
+	// are deterministic for a fixed worker count, and routing results are
+	// identical for every worker count.
+	Workers int
+
 	// GPIterPerRound is the CG iteration budget per λ round (default 30).
 	GPIterPerRound int
 	// MaxLambdaRounds bounds the density-weight escalation (default 24).

@@ -109,10 +109,10 @@ func newLevelSolver(cfg Config, p *cluster.Problem, die geom.Rect, fixed []geom.
 		model = wl.WA{Gamma: gamma}
 	}
 	// Large levels evaluate in parallel; results stay deterministic for a
-	// fixed GOMAXPROCS (partition and reduction order are fixed).
-	if n >= 2000 {
-		model = wl.NewParallel(model, 0)
-		grid.SetWorkers(0)
+	// fixed worker count (partition and reduction order are fixed).
+	if n >= 2000 && cfg.Workers != 1 {
+		model = wl.NewParallel(model, cfg.Workers)
+		grid.SetWorkers(cfg.Workers)
 	}
 	s := &levelSolver{
 		cfg: cfg, p: p, die: die, regions: regions,

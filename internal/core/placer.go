@@ -172,7 +172,7 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		origW[ni] = prob.Nets[ni].Weight
 	}
 
-	router := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: 2})
+	router := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: 2, Workers: cfg.Workers})
 	// The loop is gated: every iteration's placement is scored with the
 	// router (the same sHPWL proxy the final evaluation uses) and the best
 	// snapshot wins, so the loop can explore without ever shipping a

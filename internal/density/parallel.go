@@ -1,8 +1,9 @@
 package density
 
 import (
-	"runtime"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // bellScratch is per-worker scratch for bell evaluation.
@@ -25,17 +26,12 @@ func (s *bellScratch) ensure(span, bins int) {
 }
 
 // SetWorkers enables parallel Penalty evaluation with the given worker
-// count (≤ 0 selects GOMAXPROCS capped at 8; 1 restores serial
-// evaluation). Results match the serial path up to floating-point
-// reassociation in the demand reduction, deterministically for a fixed
-// worker count.
+// count (≤ 0 selects the shared automatic policy — par.Workers, honoring
+// the REPRO_WORKERS override; 1 restores serial evaluation). Results
+// match the serial path up to floating-point reassociation in the demand
+// reduction, deterministically for a fixed worker count.
 func (g *Grid) SetWorkers(w int) {
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-		if w > 8 {
-			w = 8
-		}
-	}
+	w = par.Workers(w)
 	g.workers = w
 	if w > 1 && len(g.scratch) < w {
 		g.scratch = make([]bellScratch, w)

@@ -1,0 +1,46 @@
+// Package par centralizes worker-count policy for the data-parallel
+// kernels (wirelength, density, global routing). Every knob in the repo
+// resolves through Workers so the cap and the environment override live in
+// exactly one place.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// DefaultCap bounds the automatic worker count: the parallel kernels are
+// memory-bandwidth bound and saturate well before high core counts on
+// typical hosts. Explicit worker counts (flag, config, env) are not capped.
+const DefaultCap = 8
+
+// EnvWorkers is the environment variable consulted by Workers when the
+// requested count is automatic (≤ 0). It overrides the GOMAXPROCS-derived
+// default, e.g. REPRO_WORKERS=16 on a machine where the cap is too low.
+const EnvWorkers = "REPRO_WORKERS"
+
+// Workers resolves a worker-count knob: n > 0 is honored as-is; n ≤ 0
+// selects the EnvWorkers override when set to a positive integer, and
+// otherwise GOMAXPROCS capped at DefaultCap. The result is always ≥ 1.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > DefaultCap {
+		w = DefaultCap
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DefaultWorkers is Workers(0): the automatic choice.
+func DefaultWorkers() int { return Workers(0) }

@@ -1,0 +1,44 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestExplicitCountHonored(t *testing.T) {
+	for _, n := range []int{1, 3, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestAutomaticCapped(t *testing.T) {
+	t.Setenv(EnvWorkers, "")
+	got := DefaultWorkers()
+	want := runtime.GOMAXPROCS(0)
+	if want > DefaultCap {
+		want = DefaultCap
+	}
+	if got != want {
+		t.Errorf("DefaultWorkers() = %d, want %d", got, want)
+	}
+}
+
+func TestEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "5")
+	if got := Workers(0); got != 5 {
+		t.Errorf("env override: Workers(0) = %d, want 5", got)
+	}
+	// Explicit counts beat the environment.
+	if got := Workers(2); got != 2 {
+		t.Errorf("explicit beats env: Workers(2) = %d", got)
+	}
+	// Garbage and non-positive values fall back to the automatic choice.
+	for _, bad := range []string{"x", "0", "-3"} {
+		t.Setenv(EnvWorkers, bad)
+		if got := Workers(0); got < 1 || got > DefaultCap {
+			t.Errorf("env %q: Workers(0) = %d outside [1,%d]", bad, got, DefaultCap)
+		}
+	}
+}

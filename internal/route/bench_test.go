@@ -1,0 +1,94 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+// benchDesign is a congestion-prone placement with spread-out cells so
+// the rip-up rounds have real negotiation to do.
+func benchDesign(n int) (*Grid, *routerFixture) {
+	d := gen.MustGenerate(gen.Congested(n, 3))
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%97)/97*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*61)%89)/89*d.Die.H(),
+		})
+	}
+	g, err := NewGrid(d)
+	if err != nil {
+		panic(err)
+	}
+	return g, &routerFixture{d: d}
+}
+
+type routerFixture struct{ d *db.Design }
+
+// BenchmarkMazeReroute measures one windowed A* reroute on a warmed-up
+// router: the epoch-stamped search state and pooled heap make the steady
+// state allocation-free (allocs/op ≈ 0 — the old implementation paid
+// three O(NX·NY) slabs plus a fresh heap per call).
+func BenchmarkMazeReroute(b *testing.B) {
+	g, fx := benchDesign(800)
+	r := NewRouter(g, RouterOptions{Workers: 1})
+	r.RouteDesign(fx.d)
+	// Pick the longest segment for a representative reroute.
+	best, span := 0, -1
+	for si := range r.segs {
+		s := &r.segs[si]
+		if d := abs(s.a.x-s.b.x) + abs(s.a.y-s.b.y); d > span {
+			span, best = d, si
+		}
+	}
+	s := &r.segs[best]
+	r.snapshotCosts()
+	ss := r.state(0)
+	s.path = r.rerouteSegment(ss, s) // warm the path buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.path = r.rerouteSegment(ss, s)
+	}
+}
+
+// BenchmarkFullGridMaze is the worst case: a full-grid search (the old
+// router paid this for every reroute; the windowed search only on final
+// escalation).
+func BenchmarkFullGridMaze(b *testing.B) {
+	g, fx := benchDesign(800)
+	r := NewRouter(g, RouterOptions{Workers: 1})
+	r.RouteDesign(fx.d)
+	r.snapshotCosts()
+	ss := r.state(0)
+	a, z := tile{0, 0}, tile{g.NX - 1, g.NY - 1}
+	var p []tile
+	p = ss.aStar(r, a, z, fullWindow(g), p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = ss.aStar(r, a, z, fullWindow(g), p[:0])
+	}
+}
+
+// BenchmarkRouteDesign times the full negotiated routing flow at several
+// worker counts (the second and later iterations run on warmed scratch,
+// which is the routability loop's steady state).
+func BenchmarkRouteDesign(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			g, fx := benchDesign(1200)
+			r := NewRouter(g, RouterOptions{Workers: w})
+			r.RouteDesign(fx.d) // warm scratch outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RouteDesign(fx.d)
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package route
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -23,6 +22,11 @@ type RouterOptions struct {
 	// ZSamples is the number of intermediate bend positions tried per
 	// Z-shape direction in pattern routing (default 8).
 	ZSamples int
+	// Workers is the rip-up-and-reroute worker count; ≤ 0 selects the
+	// shared automatic policy (par.Workers: REPRO_WORKERS env override,
+	// else GOMAXPROCS capped). The routed Result is byte-identical for
+	// every worker count — see parallel.go for the batching contract.
+	Workers int
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -52,16 +56,34 @@ type segment struct {
 	path []tile
 }
 
-// Router routes a design over a Grid and accumulates demand on it.
+// Router routes a design over a Grid and accumulates demand on it. All
+// scratch state (segment paths, cost snapshot, per-worker search states,
+// batch partitions) is retained between RouteDesign calls, so repeated
+// routing of the same design — the placer's routability loop — runs
+// nearly allocation-free after the first call.
 type Router struct {
-	G    *Grid
-	opt  RouterOptions
-	segs []segment
+	G       *Grid
+	opt     RouterOptions
+	workers int
+	segs    []segment
+
+	// Reusable scratch (see search.go and parallel.go).
+	costs             costSnapshot
+	states            []*searchState
+	order             []int
+	overflowed        []int
+	batchSegs         [][]int
+	batchOcc          []occMask
+	batchPool         [][]int
+	patBest, patTrial []tile
+	seenTiles         map[tile]bool
+	pts               []steiner.Point
+	samples           []int
 }
 
 // NewRouter wraps a grid (whose demand it owns during routing).
 func NewRouter(g *Grid, opt RouterOptions) *Router {
-	return &Router{G: g, opt: opt.withDefaults()}
+	return &Router{G: g, opt: opt.withDefaults(), workers: resolveWorkers(opt.Workers)}
 }
 
 // Result summarizes one routing run.
@@ -84,7 +106,8 @@ type Result struct {
 // RouteDesign decomposes every net into Steiner-tree segments over pin tiles,
 // pattern-routes them, then rips up and reroutes through congestion until
 // overflow clears or the round budget is exhausted. Demand is left on the
-// grid for metric extraction.
+// grid for metric extraction. Reroute rounds run batch-parallel (see
+// parallel.go); the result is identical for every worker count.
 func (r *Router) RouteDesign(d *db.Design) Result {
 	r.G.ResetDemand()
 	r.G.ResetHistory()
@@ -94,10 +117,11 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 	}
 	// Initial pass: short segments first so long nets negotiate around
 	// the fabric the short ones already claimed.
-	order := make([]int, len(r.segs))
-	for i := range order {
-		order[i] = i
+	r.order = r.order[:0]
+	for i := range r.segs {
+		r.order = append(r.order, i)
 	}
+	order := r.order
 	sort.Slice(order, func(i, j int) bool {
 		si, sj := &r.segs[order[i]], &r.segs[order[j]]
 		di := abs(si.a.x-si.b.x) + abs(si.a.y-si.b.y)
@@ -109,7 +133,7 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 	})
 	for _, si := range order {
 		s := &r.segs[si]
-		s.path = r.patternRoute(s.a, s.b)
+		s.path = r.patternRouteInto(s.path[:0], s.a, s.b)
 		r.commit(s.path, +1)
 	}
 
@@ -119,15 +143,8 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 			break
 		}
 		res.RRRIters = iter + 1
-		r.bumpHistory()
-		for si := range r.segs {
-			s := &r.segs[si]
-			if !r.pathOverflows(s.path) {
-				continue
-			}
-			r.commit(s.path, -1)
-			s.path = r.mazeRoute(s.a, s.b)
-			r.commit(s.path, +1)
+		if !r.rrrRound() {
+			break
 		}
 	}
 	for si := range r.segs {
@@ -154,8 +171,12 @@ func (r *Router) decompose(d *db.Design, ni int) {
 	if net.Degree() < 2 {
 		return
 	}
-	seen := make(map[tile]bool, net.Degree())
-	var pts []steiner.Point
+	if r.seenTiles == nil {
+		r.seenTiles = make(map[tile]bool, 16)
+	}
+	seen := r.seenTiles
+	clear(seen)
+	pts := r.pts[:0]
 	for _, pi := range net.Pins {
 		tx, ty := r.G.TileOf(d.PinPos(pi))
 		tl := tile{tx, ty}
@@ -164,6 +185,7 @@ func (r *Router) decompose(d *db.Design, ni int) {
 			pts = append(pts, steiner.Point{X: tx, Y: ty})
 		}
 	}
+	r.pts = pts
 	if len(pts) < 2 {
 		return
 	}
@@ -174,8 +196,22 @@ func (r *Router) decompose(d *db.Design, ni int) {
 		if a == b {
 			continue
 		}
-		r.segs = append(r.segs, segment{net: ni, a: tile{a.X, a.Y}, b: tile{b.X, b.Y}})
+		r.segs = appendSeg(r.segs, ni, tile{a.X, a.Y}, tile{b.X, b.Y})
 	}
+}
+
+// appendSeg grows segs by one entry, recycling the path buffer of the
+// slot it lands in when the backing array is reused across RouteDesign
+// calls.
+func appendSeg(segs []segment, net int, a, b tile) []segment {
+	if len(segs) < cap(segs) {
+		segs = segs[:len(segs)+1]
+		s := &segs[len(segs)-1]
+		s.net, s.a, s.b = net, a, b
+		s.path = s.path[:0]
+		return segs
+	}
+	return append(segs, segment{net: net, a: a, b: b})
 }
 
 // edgeCost is the negotiated cost of pushing one more track through an
@@ -277,81 +313,90 @@ func hSpan(path []tile, x0, x1, y int) []tile {
 }
 
 // patternRoute picks the cheapest of the L- and sampled Z-shaped routes
-// between a and b under current negotiated costs.
+// between a and b under current negotiated costs. Serial-only (shared
+// scratch); returns a freshly allocated path.
 func (r *Router) patternRoute(a, b tile) []tile {
+	return r.patternRouteInto(nil, a, b)
+}
+
+// patternRouteInto is patternRoute writing its winner into dst (reusing
+// dst's capacity). Candidate paths are built in two router-owned scratch
+// buffers, so the pattern pass allocates nothing after warm-up. Not safe
+// for concurrent use.
+func (r *Router) patternRouteInto(dst []tile, a, b tile) []tile {
 	if a == b {
-		return []tile{a}
+		return append(dst[:0], a)
 	}
-	var best []tile
+	best, trial := r.patBest[:0], r.patTrial[:0]
 	bestCost := math.Inf(1)
-	try := func(path []tile) {
-		if c := r.pathCost(path); c < bestCost {
-			bestCost = c
-			best = path
+	try := func(c int, vertical bool) {
+		trial = buildZPath(trial[:0], a, b, c, vertical)
+		if cost := r.pathCost(trial); cost < bestCost {
+			bestCost = cost
+			best, trial = trial, best
 		}
 	}
-	if a.x == b.x {
-		try(buildZPath(a, b, a.x, true))
+	switch {
+	case a.x == b.x:
+		try(a.x, true)
 		// Also consider small detours one column away when congested.
 		if a.x+1 < r.G.NX {
-			try(buildZPath(a, b, a.x+1, true))
+			try(a.x+1, true)
 		}
 		if a.x-1 >= 0 {
-			try(buildZPath(a, b, a.x-1, true))
+			try(a.x-1, true)
 		}
-		return best
-	}
-	if a.y == b.y {
-		try(buildZPath(a, b, a.y, false))
+	case a.y == b.y:
+		try(a.y, false)
 		if a.y+1 < r.G.NY {
-			try(buildZPath(a, b, a.y+1, false))
+			try(a.y+1, false)
 		}
 		if a.y-1 >= 0 {
-			try(buildZPath(a, b, a.y-1, false))
+			try(a.y-1, false)
 		}
-		return best
+	default:
+		// L shapes are the z-shape extremes, covered by the sweeps at the
+		// endpoint columns/rows.
+		r.samples = sampleInto(r.samples[:0], a.x, b.x, r.opt.ZSamples)
+		for _, c := range r.samples {
+			try(c, true)
+		}
+		r.samples = sampleInto(r.samples[:0], a.y, b.y, r.opt.ZSamples)
+		for _, c := range r.samples {
+			try(c, false)
+		}
 	}
-	// L shapes: bend at (b.x, a.y) or (a.x, b.y) — these are the z-shape
-	// extremes, covered by the sweeps below at k = 0 and k = n.
-	// Vertical-bend Z: horizontal at y=a.y to column c, vertical to b.y,
-	// horizontal to b.x.
-	cols := sampleBetween(a.x, b.x, r.opt.ZSamples)
-	for _, c := range cols {
-		try(buildZPath(a, b, c, true))
-	}
-	rows := sampleBetween(a.y, b.y, r.opt.ZSamples)
-	for _, c := range rows {
-		try(buildZPath(a, b, c, false))
-	}
-	return best
+	r.patBest, r.patTrial = best, trial
+	return append(dst[:0], best...)
 }
 
 // sampleBetween returns up to n+2 evenly spaced integers covering [a, b]
 // inclusive (order-normalized, endpoints always included).
-func sampleBetween(a, b, n int) []int {
+func sampleBetween(a, b, n int) []int { return sampleInto(nil, a, b, n) }
+
+// sampleInto is sampleBetween appending into out (reusing its capacity).
+func sampleInto(out []int, a, b, n int) []int {
 	if a > b {
 		a, b = b, a
 	}
 	span := b - a
 	if span <= n {
-		out := make([]int, 0, span+1)
 		for v := a; v <= b; v++ {
 			out = append(out, v)
 		}
 		return out
 	}
-	out := make([]int, 0, n+2)
 	for i := 0; i <= n+1; i++ {
 		out = append(out, a+span*i/(n+1))
 	}
 	return out
 }
 
-// buildZPath builds the Z-shaped path from a to b bending at column c
-// (vertical=true: run horizontally to c, vertically to b.y, horizontally
-// to b.x) or at row c (vertical=false, transposed).
-func buildZPath(a, b tile, c int, vertical bool) []tile {
-	path := []tile{a}
+// buildZPath appends to dst the Z-shaped path from a to b bending at
+// column c (vertical=true: run horizontally to c, vertically to b.y,
+// horizontally to b.x) or at row c (vertical=false, transposed).
+func buildZPath(dst []tile, a, b tile, c int, vertical bool) []tile {
+	path := append(dst, a)
 	if vertical {
 		if c != a.x {
 			path = hSpan(path, a.x, c, a.y)
@@ -391,84 +436,15 @@ func vSpanSimple(path []tile, y0, y1, x int) []tile {
 	return path
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	tile tile
-	cost float64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].cost < p[j].cost }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; n := len(old); it := old[n-1]; *p = old[:n-1]; return it }
-
-// mazeRoute runs Dijkstra over the tile graph under negotiated edge costs.
+// mazeRoute runs a full-grid A* search under the current negotiated edge
+// costs (snapshotting them first). Serial-only; returns a fresh path.
 func (r *Router) mazeRoute(a, b tile) []tile {
-	nx, ny := r.G.NX, r.G.NY
-	n := nx * ny
-	dist := make([]float64, n)
-	prev := make([]int32, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	id := func(t tile) int { return t.y*nx + t.x }
-	start, goal := id(a), id(b)
-	dist[start] = 0
-	q := &pq{{a, 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		u := id(it.tile)
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		if u == goal {
-			break
-		}
-		t := it.tile
-		relax := func(v tile, c float64) {
-			vi := id(v)
-			if nd := dist[u] + c; nd < dist[vi] {
-				dist[vi] = nd
-				prev[vi] = int32(u)
-				heap.Push(q, pqItem{v, nd})
-			}
-		}
-		if t.x+1 < nx {
-			relax(tile{t.x + 1, t.y}, r.hCost(t.x, t.y))
-		}
-		if t.x-1 >= 0 {
-			relax(tile{t.x - 1, t.y}, r.hCost(t.x-1, t.y))
-		}
-		if t.y+1 < ny {
-			relax(tile{t.x, t.y + 1}, r.vCost(t.x, t.y))
-		}
-		if t.y-1 >= 0 {
-			relax(tile{t.x, t.y - 1}, r.vCost(t.x, t.y-1))
-		}
-	}
-	// Reconstruct.
-	if prev[goal] == -1 && goal != start {
+	r.snapshotCosts()
+	path := r.state(0).aStar(r, a, b, fullWindow(r.G), nil)
+	if path == nil {
 		// Unreachable should not happen on a connected grid; fall back to
 		// a pattern route.
 		return r.patternRoute(a, b)
-	}
-	var rev []tile
-	for u := goal; u != -1; {
-		rev = append(rev, tile{u % nx, u / nx})
-		if u == start {
-			break
-		}
-		u = int(prev[u])
-	}
-	path := make([]tile, len(rev))
-	for i := range rev {
-		path[i] = rev[len(rev)-1-i]
 	}
 	return path
 }

@@ -1,8 +1,9 @@
 package wl
 
 import (
-	"runtime"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // Parallel wraps a Model and evaluates it with a worker pool: nets are
@@ -20,20 +21,12 @@ type Parallel struct {
 	shards []float64   // per-worker partial objective values
 }
 
-// NewParallel wraps model with the given worker count (≤ 0 selects
-// GOMAXPROCS, capped at 8 — wirelength evaluation saturates memory
-// bandwidth before core count on typical hosts).
+// NewParallel wraps model with the given worker count; ≤ 0 selects the
+// shared automatic policy (par.Workers: REPRO_WORKERS env override, else
+// GOMAXPROCS capped — wirelength evaluation saturates memory bandwidth
+// before core count on typical hosts).
 func NewParallel(model Model, workers int) *Parallel {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 8 {
-			workers = 8
-		}
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return &Parallel{Model: model, Workers: workers}
+	return &Parallel{Model: model, Workers: par.Workers(workers)}
 }
 
 // Name implements Model.

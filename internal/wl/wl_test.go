@@ -327,7 +327,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		gx1 := make([]float64, 200)
 		gy1 := make([]float64, 200)
 		v1 := base.Eval(nl, x, y, gx1, gy1)
-		for _, workers := range []int{2, 4, 7} {
+		for _, workers := range []int{1, 2, 4, 7, 8} {
 			par := NewParallel(base, workers)
 			gx2 := make([]float64, 200)
 			gy2 := make([]float64, 200)
