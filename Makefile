@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-router
+.PHONY: all build check vet fmt test race bench bench-obs bench-router
 
 all: check
 
@@ -24,11 +24,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/...
+	$(GO) test -race ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/...
 
 # Table-2 style placement benchmarks (see DESIGN.md).
 bench:
 	$(GO) test -bench Table2 -benchmem -run xxx .
+
+# Telemetry-overhead benchmarks: the Disabled* cases must stay at 0
+# allocs/op, and route "off" must track the uninstrumented baseline.
+bench-obs:
+	$(GO) test -bench . -benchmem -run xxx ./internal/obs/
+	$(GO) test -bench RouteDesignObs -benchmem -run xxx ./internal/route/
 
 # Router micro-benchmarks plus the machine-readable BENCH_router.json.
 bench-router:

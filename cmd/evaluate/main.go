@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -23,6 +24,8 @@ import (
 	"repro/internal/bookshelf"
 	"repro/internal/db"
 	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/viz"
 )
@@ -43,6 +46,10 @@ func run() error {
 		workers = flag.Int("workers", 0, "router worker count (0 = auto, honors REPRO_WORKERS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		report  = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		asJSON  = flag.Bool("json", false, "also print the score row as JSON on stdout")
+		verbose = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
+		logLvl  = flag.String("log-level", "", "stderr log level: debug, info, warn or error (empty = logging off)")
 	)
 	flag.Parse()
 	if *auxPath == "" {
@@ -73,6 +80,10 @@ func run() error {
 			}
 		}()
 	}
+	rec, err := buildRecorder(*report, *verbose, *logLvl)
+	if err != nil {
+		return err
+	}
 	d, err := bookshelf.ReadDesign(*auxPath)
 	if err != nil {
 		return err
@@ -83,17 +94,31 @@ func run() error {
 		}
 	}
 	fmt.Println(d.ComputeStats())
+	overlaps, fenceViol := d.OverlapViolations(), d.FenceViolations()
 	fmt.Printf("legality: overlaps=%d fence-violations=%d out-of-die=%d\n",
-		d.OverlapViolations(), d.FenceViolations(), d.OutOfDie())
+		overlaps, fenceViol, d.OutOfDie())
 
+	row := metrics.Row{
+		Design: d.Name, Variant: "eval",
+		HPWL: d.HPWL(), Overlaps: overlaps, FenceViol: fenceViol,
+	}
 	if d.Route == nil {
 		fmt.Printf("HPWL %.6g (no .route file: congestion scoring skipped)\n", d.HPWL())
-		return nil
+		return finishEvaluate(rec, d, row, *report, *asJSON, *rrr, *workers)
 	}
-	m, err := route.EvaluateDesign(d, route.RouterOptions{MaxRRRIters: *rrr, Workers: *workers})
+	m, err := route.EvaluateDesign(d, route.RouterOptions{
+		MaxRRRIters: *rrr, Workers: *workers, Obs: rec, TraceLabel: "evaluate",
+	})
 	if err != nil {
 		return err
 	}
+	// The row carries no wall time: evaluate's stdout stays byte-identical
+	// across runs and worker counts (the determinism check diffs it), and
+	// timing lives in the -report spans and route trace instead.
+	row.ScaledHPWL = m.ScaledHPWL
+	row.RC = m.RC
+	row.ACE = m.ACE
+	row.Overflow = m.Overflow
 	fmt.Printf("score: %s\n", m)
 	fmt.Printf("ACE:  ")
 	for i, pct := range route.ACEPercentiles {
@@ -106,7 +131,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		r := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: *rrr, Workers: *workers})
+		r := route.NewRouter(grid, route.RouterOptions{
+			MaxRRRIters: *rrr, Workers: *workers, Obs: rec, TraceLabel: "svg",
+		})
 		r.RouteDesign(d)
 		f, err := os.Create(*svgPath)
 		if err != nil {
@@ -118,6 +145,53 @@ func run() error {
 		}
 		fmt.Println("wrote", *svgPath)
 	}
+	return finishEvaluate(rec, d, row, *report, *asJSON, *rrr, *workers)
+}
+
+// buildRecorder constructs the telemetry recorder the flags ask for, or
+// nil (telemetry fully disabled) when none do.
+func buildRecorder(report string, verbose bool, level string) (*obs.Recorder, error) {
+	if verbose && level == "" {
+		level = "debug"
+	}
+	var logger *slog.Logger
+	if level != "" {
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(level)); err != nil {
+			return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	}
+	if report == "" && logger == nil {
+		return nil, nil
+	}
+	return obs.New(obs.Config{Logger: logger}), nil
+}
+
+// finishEvaluate prints the score row (text table, plus JSON with -json)
+// and writes the run report when requested.
+func finishEvaluate(rec *obs.Recorder, d *db.Design, row metrics.Row, report string, asJSON bool, rrr, workers int) error {
+	fmt.Println(metrics.Header())
+	fmt.Println(row)
+	if asJSON {
+		var tbl metrics.Table
+		tbl.Add(row)
+		if err := tbl.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if report == "" {
+		return nil
+	}
+	rep := rec.BuildReport()
+	rep.Tool = "evaluate"
+	rep.Design = obs.DescribeDesign(d)
+	rep.Config = map[string]any{"rrr": rrr, "workers": workers}
+	rep.Metrics = &row
+	if err := rep.WriteFile(report); err != nil {
+		return err
+	}
+	fmt.Println("wrote", report)
 	return nil
 }
 

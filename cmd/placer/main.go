@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/legal"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/viz"
 )
@@ -59,6 +61,10 @@ func run() error {
 		workers   = flag.Int("workers", 0, "worker count for parallel kernels (0 = auto, honors REPRO_WORKERS)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		report    = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		heatDir   = flag.String("heatmap-dir", "", "write per-iteration congestion heatmap SVGs into this directory")
+		verbose   = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
+		logLevel  = flag.String("log-level", "", "stderr log level: debug, info, warn or error (empty = logging off)")
 	)
 	flag.Parse()
 
@@ -88,6 +94,11 @@ func run() error {
 		}()
 	}
 
+	rec, err := buildRecorder(*report, *heatDir, *verbose, *logLevel)
+	if err != nil {
+		return err
+	}
+
 	d, err := loadDesign(*auxPath, *synth, *seed)
 	if err != nil {
 		return err
@@ -103,6 +114,7 @@ func run() error {
 		DisableFences:      *noFence,
 		DisableDP:          *noDP,
 		RoutabilityIters:   *routeIter,
+		Obs:                rec,
 	}
 	placer, err := core.New(cfg)
 	if err != nil {
@@ -132,7 +144,7 @@ func run() error {
 		GPTime: res.GPTime, TotalTime: total,
 	}
 	if *evaluate && d.Route != nil {
-		m, err := route.EvaluateDesign(d, route.RouterOptions{Workers: *workers})
+		m, err := route.EvaluateDesign(d, route.RouterOptions{Workers: *workers, Obs: rec, TraceLabel: "evaluate"})
 		if err != nil {
 			return err
 		}
@@ -164,6 +176,71 @@ func run() error {
 		if err := writeSVGs(*outDir, d); err != nil {
 			return err
 		}
+	}
+	if *report != "" {
+		rep := rec.BuildReport()
+		rep.Tool = "placer"
+		rep.Design = obs.DescribeDesign(d)
+		rep.Config = cfg
+		rep.Metrics = &row
+		if err := rep.WriteFile(*report); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *report)
+	}
+	if *heatDir != "" {
+		if err := writeHeatmaps(*heatDir, d.Name, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRecorder constructs the telemetry recorder the flags ask for, or
+// nil (telemetry fully disabled) when none do.
+func buildRecorder(report, heatDir string, verbose bool, level string) (*obs.Recorder, error) {
+	if verbose && level == "" {
+		level = "debug"
+	}
+	var logger *slog.Logger
+	if level != "" {
+		var lv slog.Level
+		if err := lv.UnmarshalText([]byte(level)); err != nil {
+			return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+	}
+	if report == "" && heatDir == "" && logger == nil {
+		return nil, nil
+	}
+	return obs.New(obs.Config{Logger: logger, CaptureHeatmaps: heatDir != ""}), nil
+}
+
+// writeHeatmaps renders every captured per-round congestion map as an SVG
+// named <design>.<label>.svg.
+func writeHeatmaps(dir, design string, rec *obs.Recorder) error {
+	heats := rec.Heatmaps()
+	if len(heats) == 0 {
+		fmt.Fprintln(os.Stderr, "placer: no heatmaps captured (design has no route grid or routability loop disabled)")
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, h := range heats {
+		path := filepath.Join(dir, fmt.Sprintf("%s.%s.svg", design, h.Label))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := viz.HeatmapSVG(f, h.NX, h.NY, h.Cong, 800); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
 	}
 	return nil
 }

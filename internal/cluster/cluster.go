@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/wl"
 )
 
@@ -92,6 +93,11 @@ type Options struct {
 	// MaxNetDegree ignores nets larger than this during scoring
 	// (default 16); huge nets carry little locality information.
 	MaxNetDegree int
+
+	// Obs, when non-nil, records a coarsening span with per-level
+	// object/net counters and debug logging (telemetry only — it never
+	// changes the hierarchy).
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -113,18 +119,34 @@ func (o Options) withDefaults() Options {
 // Build constructs the multilevel hierarchy above p.
 func Build(p *Problem, opt Options) *Hierarchy {
 	opt = opt.withDefaults()
+	sp := opt.Obs.StartSpan("coarsen")
 	h := &Hierarchy{Levels: []*Problem{p}}
 	for len(h.Levels) < opt.MaxLevels {
 		cur := h.Levels[len(h.Levels)-1]
 		if cur.NumObjs() <= opt.MinObjs {
 			break
 		}
+		lvl := sp.StartSpanf("level-%d", len(h.Levels))
 		next, mapping, merged := coarsen(cur, opt)
 		if !merged {
+			lvl.End()
 			break
 		}
 		h.Levels = append(h.Levels, next)
 		h.Maps = append(h.Maps, mapping)
+		if lvl != nil {
+			lvl.Add("objects", int64(next.NumObjs()))
+			lvl.Add("nets", int64(len(next.Nets)))
+			lvl.End()
+		}
+	}
+	if sp != nil {
+		sp.Add("levels", int64(len(h.Levels)))
+		sp.End()
+		opt.Obs.Log().Debug("coarsen done",
+			"levels", len(h.Levels),
+			"objects_fine", p.NumObjs(),
+			"objects_coarse", h.Levels[len(h.Levels)-1].NumObjs())
 	}
 	return h
 }

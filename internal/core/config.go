@@ -24,21 +24,24 @@ import (
 
 	"repro/internal/dp"
 	"repro/internal/legal"
+	"repro/internal/obs"
 )
 
 // Config selects the placer variant. The zero value is the full
-// NTUplace4h-style flow with the WA wirelength model.
+// NTUplace4h-style flow with the WA wirelength model. The JSON tags
+// define the "config" section of the machine-readable run report
+// (internal/obs).
 type Config struct {
 	// Model picks the smooth wirelength model: "wa" (default) or "lse".
-	Model string
+	Model string `json:"model"`
 
 	// TargetDensity is the bin target density in (0,1]; 0 derives it from
 	// design utilization with a 15% margin.
-	TargetDensity float64
+	TargetDensity float64 `json:"target_density"`
 
 	// GammaFactor scales the wirelength smoothing parameter relative to
 	// the bin dimension (default 0.8).
-	GammaFactor float64
+	GammaFactor float64 `json:"gamma_factor"`
 
 	// Workers is the worker count for the parallel kernels (wirelength
 	// gradients, density penalty, global routing). 0 selects the shared
@@ -46,46 +49,46 @@ type Config struct {
 	// GOMAXPROCS capped); 1 forces serial evaluation. Placement results
 	// are deterministic for a fixed worker count, and routing results are
 	// identical for every worker count.
-	Workers int
+	Workers int `json:"workers"`
 
 	// GPIterPerRound is the CG iteration budget per λ round (default 30).
-	GPIterPerRound int
+	GPIterPerRound int `json:"gp_iter_per_round"`
 	// MaxLambdaRounds bounds the density-weight escalation (default 24).
-	MaxLambdaRounds int
+	MaxLambdaRounds int `json:"max_lambda_rounds"`
 	// OverflowStop ends spreading when total overflow falls below this
 	// fraction of movable area (default 0.10).
-	OverflowStop float64
+	OverflowStop float64 `json:"overflow_stop"`
 
 	// DisableQuadInit skips the quadratic star-model warm start that seeds
 	// global placement (ablation; mainly useful to study cold starts).
-	DisableQuadInit bool
+	DisableQuadInit bool `json:"disable_quad_init"`
 	// DisableMultilevel solves flat (single-level) global placement.
-	DisableMultilevel bool
+	DisableMultilevel bool `json:"disable_multilevel"`
 	// DisableRoutability turns the congestion-driven inflation loop off.
-	DisableRoutability bool
+	DisableRoutability bool `json:"disable_routability"`
 	// DisableFences strips fence regions from the design before placing:
 	// the hierarchical constraints are ignored entirely (the "flat"
 	// baseline of experiment T4).
-	DisableFences bool
+	DisableFences bool `json:"disable_fences"`
 	// DisableMacroOrient skips the discrete macro-orientation pass.
-	DisableMacroOrient bool
+	DisableMacroOrient bool `json:"disable_macro_orient"`
 	// DisableDP skips detailed placement.
-	DisableDP bool
+	DisableDP bool `json:"disable_dp"`
 
 	// RoutabilityIters is the number of estimate→inflate→respread rounds
 	// (default 2).
-	RoutabilityIters int
+	RoutabilityIters int `json:"routability_iters"`
 	// InflateMax caps the per-cell area inflation ratio (default 2.2).
-	InflateMax float64
+	InflateMax float64 `json:"inflate_max"`
 	// InflateExp shapes the congestion→inflation curve: ratio =
 	// min(InflateMax, congestion^InflateExp) (default 1.6).
-	InflateExp float64
+	InflateExp float64 `json:"inflate_exp"`
 	// CongestionThreshold is the tile utilization above which cells
 	// inflate (default 0.8).
-	CongestionThreshold float64
+	CongestionThreshold float64 `json:"congestion_threshold"`
 
 	// DPPasses forwards to detailed placement (default 2).
-	DPPasses int
+	DPPasses int `json:"dp_passes"`
 
 	// EnableChannelDerate statically halves placement capacity in narrow
 	// channels between macros. It is opt-in: it pays off when packing at
@@ -93,21 +96,28 @@ type Config struct {
 	// slots), but under the default generous density target the dynamic
 	// routability loop subsumes it and the lost capacity just lengthens
 	// wires (ablation T11).
-	EnableChannelDerate bool
+	EnableChannelDerate bool `json:"enable_channel_derate"`
 	// ChannelMinSpan is the channel width below which capacity is derated,
 	// in row heights of the design (default 4).
-	ChannelMinSpan float64
+	ChannelMinSpan float64 `json:"channel_min_span"`
 	// ChannelDerate is the capacity multiplier applied to narrow-channel
 	// bins (default 0.5).
-	ChannelDerate float64
+	ChannelDerate float64 `json:"channel_derate"`
 
 	// ClusterMinObjs stops coarsening below this object count
 	// (default 400).
-	ClusterMinObjs int
+	ClusterMinObjs int `json:"cluster_min_objs"`
 
 	// Trace, when non-nil, records the level-0 convergence curve
 	// (experiment F7).
-	Trace *Trace
+	Trace *Trace `json:"-"`
+
+	// Obs, when non-nil, receives structured telemetry: stage spans,
+	// per-round GP and routing traces, debug logging, and (opt-in)
+	// congestion heatmaps. Nil disables telemetry at zero cost, and
+	// recording never perturbs results — placement and routing output is
+	// byte-identical with Obs on or off.
+	Obs *obs.Recorder `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/cluster"
@@ -9,6 +8,7 @@ import (
 	"repro/internal/density"
 	"repro/internal/geom"
 	"repro/internal/nlopt"
+	"repro/internal/obs"
 	"repro/internal/wl"
 )
 
@@ -54,8 +54,13 @@ type levelSolver struct {
 	freeze bool
 	// stepScale shrinks the CG trial step (respreads make small moves).
 	stepScale float64
-	// debug prints per-round convergence when true (tests only).
-	debug bool
+	// rec receives per-round convergence telemetry (nil = disabled);
+	// span, when non-nil, parents the per-round solve spans. level and
+	// phase label the trace records ("gp" when phase is empty).
+	rec   *obs.Recorder
+	span  *obs.Span
+	level int
+	phase string
 	// scratch gradient buffers
 	gdx, gdy []float64
 	gfx, gfy []float64
@@ -327,6 +332,7 @@ func (s *levelSolver) solve(trace *Trace) gpStats {
 	prevOv := math.Inf(1)
 	for round := 0; round < s.cfg.MaxLambdaRounds; round++ {
 		stats.LambdaRounds = round + 1
+		rsp := s.span.StartSpanf("round-%d", round)
 		var onIter func(int, float64)
 		if trace != nil {
 			onIter = func(it int, f float64) {
@@ -364,9 +370,27 @@ func (s *levelSolver) solve(trace *Trace) gpStats {
 		fineOv := s.grid.Overflow(s.objs, v[:n], v[n:])
 		fineDone := fineOv < 2*s.cfg.OverflowStop || fineOv > prevFine*0.97
 		prevFine = fineOv
-		if s.debug {
-			fmt.Printf("  round %d: lambda=%.3g mu=%.3g coarse=%.3f fine=%.3f fence=%.1f hpwl=%.0f iters=%d\n",
-				round, s.lambda, s.mu, stats.Overflow, fineOv, fenced, wl.HPWL(s.nl, v[:n], v[n:]), res.Iters)
+		if rsp != nil {
+			rsp.Add("cg_iters", int64(res.Iters))
+			rsp.End()
+		}
+		if s.rec.Enabled() {
+			phase := s.phase
+			if phase == "" {
+				phase = "gp"
+			}
+			hp := wl.HPWL(s.nl, v[:n], v[n:])
+			s.rec.RecordGPRound(obs.GPRound{
+				Level: s.level, Phase: phase, Round: round,
+				Lambda: s.lambda, Mu: s.mu,
+				CoarseOverflow: stats.Overflow, FineOverflow: fineOv,
+				FenceDist: fenced, HPWL: hp, CGIters: res.Iters,
+			})
+			s.rec.Log().Debug("gp round",
+				"level", s.level, "phase", phase, "round", round,
+				"lambda", s.lambda, "mu", s.mu,
+				"coarse", stats.Overflow, "fine", fineOv,
+				"fence", fenced, "hpwl", hp, "iters", res.Iters)
 		}
 		if stats.Overflow < s.cfg.OverflowStop && fineDone && fenced <= fenceTol {
 			break

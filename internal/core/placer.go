@@ -60,7 +60,9 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 	}
 
 	// ---- Global placement -------------------------------------------
+	rec := cfg.Obs
 	t0 := time.Now()
+	lowSp := rec.StartSpan("lower")
 	prob, pm := lower(d)
 	if len(pm.objToCell) == 0 {
 		return res, fmt.Errorf("core: design %q has no movable cells", d.Name)
@@ -71,14 +73,20 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 		quadInit(prob, d.Die)
 		staggerCoincident(prob, d.Die)
 	}
+	if lowSp != nil {
+		lowSp.Add("objects", int64(prob.NumObjs()))
+		lowSp.Add("nets", int64(len(prob.Nets)))
+		lowSp.End()
+	}
 
 	var hier *cluster.Hierarchy
 	if cfg.DisableMultilevel {
 		hier = &cluster.Hierarchy{Levels: []*cluster.Problem{prob}}
 	} else {
-		hier = cluster.Build(prob, cluster.Options{MinObjs: cfg.ClusterMinObjs})
+		hier = cluster.Build(prob, cluster.Options{MinObjs: cfg.ClusterMinObjs, Obs: rec})
 	}
 	res.Levels = len(hier.Levels)
+	gpSp := rec.StartSpan("gp")
 	var lastLambda, lastMu float64
 	for l := len(hier.Levels) - 1; l >= 0; l-- {
 		var trace *Trace
@@ -86,7 +94,15 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 			trace = cfg.Trace
 		}
 		s := newLevelSolver(cfg, hier.Levels[l], d.Die, fixed, d.Regions, target, d.RowHeight())
+		s.rec = rec
+		s.level = l
+		s.span = gpSp.StartSpanf("level-%d", l)
 		st := s.solve(trace)
+		if s.span != nil {
+			s.span.Add("lambda_rounds", int64(st.LambdaRounds))
+			s.span.Add("cg_iters", int64(st.CGIters))
+			s.span.End()
+		}
 		res.LambdaRounds += st.LambdaRounds
 		res.CGIters += st.CGIters
 		res.Overflow = st.Overflow
@@ -96,9 +112,13 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 			hier.Interpolate(l - 1)
 		}
 	}
+	gpSp.End()
 	writeBack(d, prob, pm)
 	res.GPTime = time.Since(t0)
 	res.HPWLGlobal = d.HPWL()
+	rec.Log().Debug("global placement done",
+		"levels", res.Levels, "lambda_rounds", res.LambdaRounds,
+		"cg_iters", res.CGIters, "overflow", res.Overflow, "hpwl", res.HPWLGlobal)
 
 	// ---- Routability loop -------------------------------------------
 	var routedGrid *route.Grid
@@ -115,24 +135,32 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 
 	// ---- Macro orientation ------------------------------------------
 	if !cfg.DisableMacroOrient {
+		oSp := rec.StartSpan("orient")
 		orientMacros(d)
+		oSp.End()
 	}
 
 	// ---- Legalization ------------------------------------------------
 	t2 := time.Now()
+	legSp := rec.StartSpan("legalize")
 	legal.LegalizeMacros(d)
 	lres, err := legal.LegalizeCells(d)
 	if err != nil {
 		return res, err
 	}
+	if legSp != nil {
+		legSp.Add("fallbacks", int64(lres.Fallbacks))
+		legSp.End()
+	}
 	res.Legal = lres
 	res.LegalTime = time.Since(t2)
 	res.HPWLLegal = d.HPWL()
+	rec.Log().Debug("legalization done", "fallbacks", lres.Fallbacks, "hpwl", res.HPWLLegal)
 
 	// ---- Detailed placement ------------------------------------------
 	if !cfg.DisableDP {
 		t3 := time.Now()
-		dpOpt := dp.Options{Passes: cfg.DPPasses}
+		dpOpt := dp.Options{Passes: cfg.DPPasses, Obs: rec}
 		if routedGrid != nil {
 			// Routability-aware detailed placement: the final routed
 			// congestion map penalizes moves into overloaded tiles.
@@ -156,10 +184,12 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 // problem, updating design positions after each round.
 func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *problemMap, fixed []geom.Rect, target float64, lastLambda, lastMu float64, res *Result) (*route.Grid, error) {
 	cfg := pl.cfg
+	rec := cfg.Obs
 	grid, err := route.NewGrid(d)
 	if err != nil {
 		return nil, err
 	}
+	loopSp := rec.StartSpan("routability")
 	// Inflation budget: inflated movable area must stay within the
 	// spreadable capacity or the density solver can never converge.
 	freeArea := d.Die.Area() - d.FixedAreaInDie()
@@ -172,7 +202,7 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		origW[ni] = prob.Nets[ni].Weight
 	}
 
-	router := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: 2, Workers: cfg.Workers})
+	router := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: 2, Workers: cfg.Workers, Obs: rec})
 	// The loop is gated: every iteration's placement is scored with the
 	// router (the same sHPWL proxy the final evaluation uses) and the best
 	// snapshot wins, so the loop can explore without ever shipping a
@@ -185,10 +215,17 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		return route.ScaledHPWL(d.HPWL(), rc)
 	}
 	for iter := 0; iter < cfg.RoutabilityIters; iter++ {
+		iterSp := loopSp.StartSpanf("iter-%d", iter)
+		if rec.Enabled() {
+			router.SetTraceContext(iterSp, fmt.Sprintf("routability-%d", iter))
+		}
 		// The congestion signal is the *routed* demand map: the design is
 		// globally routed with a reduced rip-up budget and the leftover
 		// per-tile utilization marks the spots placement must relieve.
 		router.RouteDesign(d)
+		if rec.HeatmapsEnabled() {
+			rec.RecordHeatmap(fmt.Sprintf("routability-%d", iter), grid.NX, grid.NY, grid.TileCongestion())
+		}
 		if sc := scoreNow(); sc < bestScore {
 			bestScore = sc
 			copy(bestX, prob.X)
@@ -255,7 +292,14 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		}
 		stat.Inflated = inflated
 		res.Cong = append(res.Cong, stat)
+		if iterSp != nil {
+			iterSp.Add("inflated", int64(inflated))
+		}
+		rec.Log().Debug("routability iteration",
+			"iter", iter, "inflated", inflated,
+			"max_tile_congestion", stat.MaxTileCongestion, "score", bestScore)
 		if inflated == 0 {
+			iterSp.End()
 			break
 		}
 		weightNetsByCongestion(prob, grid, tileCong, ref, origW)
@@ -269,11 +313,16 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		s.startMu = lastMu
 		s.freeze = true
 		s.stepScale = 0.25
+		s.rec = rec
+		s.phase = "respread"
+		s.span = iterSp.StartSpan("respread")
 		st := s.solve(nil)
+		s.span.End()
 		res.LambdaRounds += st.LambdaRounds
 		res.CGIters += st.CGIters
 		res.Overflow = st.Overflow
 		writeBack(d, prob, pm)
+		iterSp.End()
 		if d.HPWL() > hpwlBudget {
 			break
 		}
@@ -286,6 +335,9 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 	// Score the final state, restore the best snapshot if it lost, and
 	// record the shipped state's congestion profile (experiment F6 reads
 	// res.Cong's last entry as "after the loop").
+	if rec.Enabled() {
+		router.SetTraceContext(loopSp, "final")
+	}
 	router.RouteDesign(d)
 	if scoreNow() > bestScore {
 		copy(prob.X, bestX)
@@ -300,6 +352,10 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		}
 	}
 	res.Cong = append(res.Cong, final)
+	if rec.HeatmapsEnabled() {
+		rec.RecordHeatmap("final", grid.NX, grid.NY, grid.TileCongestion())
+	}
+	loopSp.End()
 	return grid, nil
 }
 

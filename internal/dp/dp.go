@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Options tunes detailed placement.
@@ -37,6 +38,10 @@ type Options struct {
 	CongTileW   float64
 	CongTileH   float64
 	CongPenalty float64 // cost per unit overload per unit cell area (default 0.5)
+
+	// Obs, when non-nil, records a "dp" span with per-pass move counters
+	// and debug logging (telemetry only — moves are unaffected).
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -73,13 +78,31 @@ func Optimize(d *db.Design, opt Options) Result {
 			o.obstacles = append(o.obstacles, c.Rect())
 		}
 	}
+	sp := opt.Obs.StartSpan("dp")
 	res := Result{Before: d.HPWL()}
 	for p := 0; p < opt.Passes; p++ {
-		res.Swaps += o.globalSwap()
-		res.Reorders += o.localReorder()
-		res.Shifts += o.rowShift()
+		psp := sp.StartSpanf("pass-%d", p)
+		sw, re, sh := o.globalSwap(), o.localReorder(), o.rowShift()
+		res.Swaps += sw
+		res.Reorders += re
+		res.Shifts += sh
+		if psp != nil {
+			psp.Add("swaps", int64(sw))
+			psp.Add("reorders", int64(re))
+			psp.Add("shifts", int64(sh))
+			psp.End()
+		}
 	}
 	res.After = d.HPWL()
+	if sp != nil {
+		sp.Add("swaps", int64(res.Swaps))
+		sp.Add("reorders", int64(res.Reorders))
+		sp.Add("shifts", int64(res.Shifts))
+		sp.End()
+		opt.Obs.Log().Debug("detailed placement done",
+			"passes", opt.Passes, "swaps", res.Swaps, "reorders", res.Reorders,
+			"shifts", res.Shifts, "hpwl_before", res.Before, "hpwl_after", res.After)
+	}
 	return res
 }
 

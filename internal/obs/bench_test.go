@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledSpan measures the nil-recorder span path — the cost
+// every instrumented stage pays when telemetry is off. Must stay at
+// 0 allocs/op (also pinned by TestDisabledPathAllocFree).
+func BenchmarkDisabledSpan(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("route")
+		sp.Add("segments", 1)
+		c := sp.StartSpan("round")
+		c.End()
+		sp.End()
+	}
+}
+
+// BenchmarkDisabledTrace measures disabled trace recording — the
+// per-round call sites in the GP loop and the router's warm reroute
+// path. Must stay at 0 allocs/op.
+func BenchmarkDisabledTrace(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rec.Enabled() {
+			b.Fatal("enabled")
+		}
+		rec.RecordGPRound(GPRound{Level: 1, Round: i, Lambda: 0.5})
+		rec.RecordRouteRound(RouteRound{Round: i, Overflow: 3})
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled-path reference point for the
+// disabled benchmarks above.
+func BenchmarkEnabledSpan(b *testing.B) {
+	rec := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("route")
+		sp.Add("segments", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledTrace is the enabled trace-recording reference point.
+func BenchmarkEnabledTrace(b *testing.B) {
+	rec := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.RecordRouteRound(RouteRound{Round: i, Overflow: 3})
+	}
+}

@@ -1,0 +1,207 @@
+// Package obs is the placer's structured telemetry layer: leveled
+// logging on log/slog, hierarchical timed spans with counters
+// (stage → round → CG solve), and a trace recorder that captures the
+// per-round convergence state of global placement and global routing.
+// A run's telemetry is assembled into a versioned, machine-readable
+// Report (see report.go) that the CLIs emit with -report.
+//
+// The disabled state is a nil *Recorder: every method on Recorder and
+// Span nil-checks and returns immediately, so instrumented hot paths pay
+// one pointer comparison and allocate nothing (guarded by
+// BenchmarkDisabled* and the AllocsPerRun tests). Recording is
+// observation only — it never mutates placer or router state — so
+// placement and routing results are byte-identical with telemetry on or
+// off, at any worker count (internal/core's determinism test pins this).
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Config configures a Recorder.
+type Config struct {
+	// Logger receives the structured debug/info log stream. Nil disables
+	// logging: Log() returns a shared discard logger.
+	Logger *slog.Logger
+	// CaptureHeatmaps retains a per-round copy of the routed tile
+	// congestion map (memory-proportional to rounds × tiles, so opt-in).
+	CaptureHeatmaps bool
+	// Clock overrides time.Now for spans and wall-time measurements
+	// (tests inject a fake clock to make timings deterministic).
+	Clock func() time.Time
+}
+
+// Recorder is the telemetry sink for one run. All methods are safe for
+// concurrent use and safe on a nil receiver (the disabled fast path).
+type Recorder struct {
+	log             *slog.Logger
+	now             func() time.Time
+	start           time.Time
+	captureHeatmaps bool
+
+	mu    sync.Mutex
+	spans []*Span
+	gp    []GPRound
+	route []RouteRound
+	heat  []Heatmap
+}
+
+// New builds an enabled recorder.
+func New(cfg Config) *Recorder {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Recorder{
+		log:             cfg.Logger,
+		now:             now,
+		start:           now(),
+		captureHeatmaps: cfg.CaptureHeatmaps,
+	}
+}
+
+// Enabled reports whether telemetry is being recorded. It is the
+// nil-check fast path instrumentation sites use to skip argument
+// preparation (HPWL evaluation, label formatting) entirely.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+var nopLogger = slog.New(slog.DiscardHandler)
+
+// Log returns the structured logger; on a nil or logger-less recorder it
+// returns a shared discard logger, so call sites never nil-check.
+func (r *Recorder) Log() *slog.Logger {
+	if r == nil || r.log == nil {
+		return nopLogger
+	}
+	return r.log
+}
+
+// Now reads the recorder's clock (zero time when disabled). Wall-time
+// measurements go through this so tests can fake the clock.
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.now()
+}
+
+// GPRound is one λ round of global placement: the full convergence state
+// NTUplace-style flows are tuned by watching.
+type GPRound struct {
+	// Level is the multilevel hierarchy level (0 = flattest).
+	Level int `json:"level"`
+	// Phase is "gp" for the main solve, "respread" for routability-loop
+	// respreads.
+	Phase string `json:"phase"`
+	// Round is the λ-escalation round within the solve.
+	Round int `json:"round"`
+
+	Lambda float64 `json:"lambda"`
+	Mu     float64 `json:"mu"`
+	// CoarseOverflow is the convergence-check overflow (few cells per
+	// bin); FineOverflow is at cell-scale resolution.
+	CoarseOverflow float64 `json:"coarse_overflow"`
+	FineOverflow   float64 `json:"fine_overflow"`
+	// FenceDist is the largest center-to-fence distance over fenced
+	// objects.
+	FenceDist float64 `json:"fence_dist"`
+	HPWL      float64 `json:"hpwl"`
+	CGIters   int     `json:"cg_iters"`
+}
+
+// RouteRound is one pass of the global router: the initial pattern pass
+// (Round 0) or a rip-up-and-reroute round (Round ≥ 1).
+type RouteRound struct {
+	// Context labels which routing call this round belongs to
+	// ("routability-0", "final", "evaluate", ...).
+	Context string `json:"context"`
+	Round   int    `json:"round"`
+	// Overflow is the total demand above capacity after the round.
+	Overflow float64 `json:"overflow"`
+	// Rerouted is the number of segments (re)routed this round.
+	Rerouted int `json:"rerouted"`
+	// Batches is the number of disjoint parallel batches the round's
+	// segments partitioned into (0 for the initial pattern pass).
+	Batches int `json:"batches"`
+	// WallMS is the round's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Heatmap is one captured congestion map (row-major, [ty*NX+tx]).
+type Heatmap struct {
+	Label string    `json:"label"`
+	NX    int       `json:"nx"`
+	NY    int       `json:"ny"`
+	Cong  []float64 `json:"cong"`
+}
+
+// RecordGPRound appends one GP convergence sample.
+func (r *Recorder) RecordGPRound(g GPRound) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gp = append(r.gp, g)
+	r.mu.Unlock()
+}
+
+// RecordRouteRound appends one routing round sample.
+func (r *Recorder) RecordRouteRound(t RouteRound) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.route = append(r.route, t)
+	r.mu.Unlock()
+}
+
+// HeatmapsEnabled reports whether RecordHeatmap will retain data; call
+// sites use it to skip building the congestion map at all.
+func (r *Recorder) HeatmapsEnabled() bool {
+	return r != nil && r.captureHeatmaps
+}
+
+// RecordHeatmap captures a copy of cong under label. A no-op unless
+// heatmap capture was requested at construction.
+func (r *Recorder) RecordHeatmap(label string, nx, ny int, cong []float64) {
+	if !r.HeatmapsEnabled() {
+		return
+	}
+	h := Heatmap{Label: label, NX: nx, NY: ny, Cong: append([]float64(nil), cong...)}
+	r.mu.Lock()
+	r.heat = append(r.heat, h)
+	r.mu.Unlock()
+}
+
+// GPRounds returns a copy of the recorded GP trace (nil when disabled).
+func (r *Recorder) GPRounds() []GPRound {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]GPRound(nil), r.gp...)
+}
+
+// RouteRounds returns a copy of the recorded routing trace.
+func (r *Recorder) RouteRounds() []RouteRound {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RouteRound(nil), r.route...)
+}
+
+// Heatmaps returns a copy of the captured heatmap list (the congestion
+// slices are shared — callers must not mutate them).
+func (r *Recorder) Heatmaps() []Heatmap {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Heatmap(nil), r.heat...)
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances by step on every read.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		out := t
+		t = t.Add(step)
+		return out
+	}
+}
+
+func TestSpanNestingAndTiming(t *testing.T) {
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	var now time.Time = base
+	rec := New(Config{Clock: func() time.Time { return now }})
+
+	gp := rec.StartSpan("gp")
+	now = now.Add(10 * time.Millisecond)
+	lvl := gp.StartSpan("level-0")
+	now = now.Add(30 * time.Millisecond)
+	lvl.End()
+	now = now.Add(5 * time.Millisecond)
+	gp.End()
+
+	if got := lvl.Duration(); got != 30*time.Millisecond {
+		t.Errorf("child duration = %v, want 30ms", got)
+	}
+	if got := gp.Duration(); got != 45*time.Millisecond {
+		t.Errorf("parent duration = %v, want 45ms", got)
+	}
+	kids := gp.Children()
+	if len(kids) != 1 || kids[0].Name() != "level-0" {
+		t.Fatalf("children = %v", kids)
+	}
+	// End is idempotent.
+	now = now.Add(time.Hour)
+	gp.End()
+	if got := gp.Duration(); got != 45*time.Millisecond {
+		t.Errorf("duration after second End = %v, want 45ms", got)
+	}
+
+	rep := rec.BuildReport()
+	if len(rep.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(rep.Spans))
+	}
+	sr := rep.Spans[0]
+	if sr.Name != "gp" || sr.DurMS != 45 || len(sr.Children) != 1 {
+		t.Errorf("span record = %+v", sr)
+	}
+	if c := sr.Children[0]; c.Name != "level-0" || c.StartMS != 10 || c.DurMS != 30 {
+		t.Errorf("child record = %+v", c)
+	}
+}
+
+func TestOpenSpanHasZeroDuration(t *testing.T) {
+	rec := New(Config{Clock: fakeClock(time.Unix(0, 0), time.Millisecond)})
+	sp := rec.StartSpan("open")
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("open span duration = %v, want 0", d)
+	}
+	if sr := rec.BuildReport().Spans[0]; sr.DurMS != 0 {
+		t.Errorf("open span record dur = %v, want 0", sr.DurMS)
+	}
+}
+
+// TestCounterAggregationConcurrent must pass under -race: many
+// goroutines hammer counters and child creation on a shared span.
+func TestCounterAggregationConcurrent(t *testing.T) {
+	rec := New(Config{})
+	sp := rec.StartSpan("route")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp.Add("segments", 1)
+				sp.Add("tiles", 3)
+				if i%100 == 0 {
+					c := sp.StartSpanf("w%d-%d", w, i)
+					c.Add("probes", 2)
+					c.End()
+				}
+				rec.RecordRouteRound(RouteRound{Context: "t", Round: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	sp.End()
+	if got := sp.Counter("segments"); got != workers*perWorker {
+		t.Errorf("segments = %d, want %d", got, workers*perWorker)
+	}
+	if got := sp.Counter("tiles"); got != 3*workers*perWorker {
+		t.Errorf("tiles = %d, want %d", got, 3*workers*perWorker)
+	}
+	if got := len(sp.Children()); got != workers*perWorker/100 {
+		t.Errorf("children = %d, want %d", got, workers*perWorker/100)
+	}
+	if got := len(rec.RouteRounds()); got != workers*perWorker {
+		t.Errorf("route rounds = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilRecorderNoOps drives the whole API through a nil recorder: the
+// disabled state must be inert and crash-free.
+func TestNilRecorderNoOps(t *testing.T) {
+	var rec *Recorder
+	if rec.Enabled() {
+		t.Error("nil recorder enabled")
+	}
+	if rec.HeatmapsEnabled() {
+		t.Error("nil recorder captures heatmaps")
+	}
+	sp := rec.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil recorder produced a span")
+	}
+	child := sp.StartSpan("y")
+	child.Add("n", 1)
+	child.End()
+	sp.StartSpanf("z-%d", 1).End()
+	ChildSpan(nil, rec, "w").End()
+	rec.RecordGPRound(GPRound{})
+	rec.RecordRouteRound(RouteRound{})
+	rec.RecordHeatmap("h", 1, 1, []float64{1})
+	if rec.GPRounds() != nil || rec.RouteRounds() != nil || rec.Heatmaps() != nil {
+		t.Error("nil recorder returned traces")
+	}
+	rec.Log().Debug("discarded")
+	rep := rec.BuildReport()
+	if rep == nil || rep.Version != ReportVersion {
+		t.Errorf("nil recorder report = %+v", rep)
+	}
+}
+
+// TestDisabledPathAllocFree pins the disabled fast path at zero
+// allocations: this is the overhead contract the placer's and router's
+// hot loops rely on.
+func TestDisabledPathAllocFree(t *testing.T) {
+	var rec *Recorder
+	var sp *Span
+	if n := testing.AllocsPerRun(100, func() {
+		if rec.Enabled() {
+			t.Fatal("enabled")
+		}
+		s := rec.StartSpan("route")
+		s.Add("segments", 1)
+		c := s.StartSpan("round")
+		c.End()
+		s.End()
+		sp.Add("n", 1)
+		rec.RecordGPRound(GPRound{Level: 1, Lambda: 2})
+		rec.RecordRouteRound(RouteRound{Round: 3})
+	}); n != 0 {
+		t.Errorf("disabled telemetry path allocates %v per op, want 0", n)
+	}
+}
+
+func TestLogLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	rec := New(Config{Logger: logger})
+	rec.Log().Debug("gp round", "round", 3, "lambda", 0.5)
+	if out := buf.String(); !strings.Contains(out, "gp round") || !strings.Contains(out, "lambda=0.5") {
+		t.Errorf("log output %q missing fields", out)
+	}
+	// Logger-less recorder discards without crashing.
+	New(Config{}).Log().Info("discarded")
+}
+
+func TestHeatmapCapture(t *testing.T) {
+	rec := New(Config{CaptureHeatmaps: true})
+	src := []float64{1, 2, 3, 4}
+	rec.RecordHeatmap("round-0", 2, 2, src)
+	src[0] = 99 // recorder must hold a copy
+	hs := rec.Heatmaps()
+	if len(hs) != 1 {
+		t.Fatalf("heatmaps = %d", len(hs))
+	}
+	if hs[0].Label != "round-0" || hs[0].NX != 2 || hs[0].NY != 2 || hs[0].Cong[0] != 1 {
+		t.Errorf("heatmap = %+v", hs[0])
+	}
+	// Capture off: dropped.
+	off := New(Config{})
+	off.RecordHeatmap("x", 1, 1, src)
+	if len(off.Heatmaps()) != 0 {
+		t.Error("heatmap captured with capture disabled")
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"repro/internal/db"
+	"repro/internal/metrics"
+)
+
+// ReportVersion is bumped whenever the report schema changes shape (the
+// golden-file test pins the schema for each version).
+const ReportVersion = 1
+
+// Report is the versioned, machine-readable record of one run: what was
+// placed, with which configuration, how each stage spent its time, how
+// the optimization converged, and what it scored.
+type Report struct {
+	Version int    `json:"version"`
+	Tool    string `json:"tool,omitempty"`
+
+	Design *DesignInfo `json:"design,omitempty"`
+	// Config is the tool configuration (the placer's core.Config, or a
+	// CLI-specific record for the evaluator).
+	Config any `json:"config,omitempty"`
+
+	// Spans is the stage timing tree in creation order.
+	Spans []*SpanRecord `json:"spans,omitempty"`
+	// GPTrace and RouteTrace are the per-round convergence curves.
+	GPTrace    []GPRound    `json:"gp_trace,omitempty"`
+	RouteTrace []RouteRound `json:"route_trace,omitempty"`
+
+	// Metrics is the final paper-style result row.
+	Metrics *metrics.Row `json:"metrics,omitempty"`
+
+	// Heatmaps holds the captured per-round congestion maps (only when
+	// capture was requested).
+	Heatmaps []Heatmap `json:"heatmaps,omitempty"`
+}
+
+// SpanRecord is the serialized form of a Span subtree. Times are
+// milliseconds; StartMS is relative to recorder creation.
+type SpanRecord struct {
+	Name     string           `json:"name"`
+	StartMS  float64          `json:"start_ms"`
+	DurMS    float64          `json:"dur_ms"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Children []*SpanRecord    `json:"children,omitempty"`
+}
+
+// DesignInfo summarizes the placed design for the report header.
+type DesignInfo struct {
+	Name         string  `json:"name"`
+	Cells        int     `json:"cells"`
+	StdCells     int     `json:"std_cells"`
+	Macros       int     `json:"macros"`
+	MovableMacro int     `json:"movable_macros"`
+	Terminals    int     `json:"terminals"`
+	Nets         int     `json:"nets"`
+	Pins         int     `json:"pins"`
+	Fences       int     `json:"fences"`
+	Modules      int     `json:"modules"`
+	Utilization  float64 `json:"utilization"`
+	DieW         float64 `json:"die_w"`
+	DieH         float64 `json:"die_h"`
+	HasRouteGrid bool    `json:"has_route_grid"`
+}
+
+// DescribeDesign builds the report's design summary from a design.
+func DescribeDesign(d *db.Design) *DesignInfo {
+	s := d.ComputeStats()
+	return &DesignInfo{
+		Name:         s.Name,
+		Cells:        s.NumCells,
+		StdCells:     s.NumStdCells,
+		Macros:       s.NumMacros,
+		MovableMacro: s.NumMovMacro,
+		Terminals:    s.NumTerms,
+		Nets:         s.NumNets,
+		Pins:         s.NumPins,
+		Fences:       s.NumRegions,
+		Modules:      s.NumModules,
+		Utilization:  s.Utilization,
+		DieW:         s.DieW,
+		DieH:         s.DieH,
+		HasRouteGrid: d.Route != nil,
+	}
+}
+
+// BuildReport snapshots the recorder's telemetry into a Report. The
+// caller fills in Tool, Design, Config and Metrics. Nil recorder yields
+// an empty (but valid, versioned) report.
+func (r *Recorder) BuildReport() *Report {
+	rep := &Report{Version: ReportVersion}
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	spans := append([]*Span(nil), r.spans...)
+	rep.GPTrace = append([]GPRound(nil), r.gp...)
+	rep.RouteTrace = append([]RouteRound(nil), r.route...)
+	rep.Heatmaps = append([]Heatmap(nil), r.heat...)
+	r.mu.Unlock()
+	for _, s := range spans {
+		rep.Spans = append(rep.Spans, s.record(r.start))
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteFile writes the report to path as indented JSON.
+func (rep *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

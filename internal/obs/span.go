@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of the run, arranged hierarchically
+// (stage → round → solve). Counters accumulate named int64 deltas;
+// both counters and child creation are safe under concurrent writers.
+// All methods are no-ops on a nil span, so disabled telemetry costs one
+// nil check per call.
+type Span struct {
+	rec   *Recorder
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	counters map[string]int64
+	children []*Span
+}
+
+// StartSpan opens a new root-level span.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{rec: r, name: name, start: r.now()}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a child span.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{rec: s.rec, name: name, start: s.rec.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// StartSpanf is StartSpan with a formatted name; the format arguments
+// are not evaluated on a nil span.
+func (s *Span) StartSpanf(format string, args ...any) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.StartSpan(fmt.Sprintf(format, args...))
+}
+
+// ChildSpan opens a span under parent when non-nil, else at the
+// recorder's root — the shape used by components (like the router) that
+// may run either inside a stage or standalone.
+func ChildSpan(parent *Span, r *Recorder, name string) *Span {
+	if parent != nil {
+		return parent.StartSpan(name)
+	}
+	return r.StartSpan(name)
+}
+
+// End closes the span. Later End calls are ignored, so deferred and
+// explicit closes compose.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.rec.now()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// Add accumulates delta into the named counter.
+func (s *Span) Add(counter string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[counter] += delta
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Counter reads a counter's current value (0 on nil or unknown).
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// Duration returns end−start, or 0 while the span is open.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// record converts the span subtree into its serializable form, with
+// start offsets relative to origin.
+func (s *Span) record(origin time.Time) *SpanRecord {
+	s.mu.Lock()
+	rec := &SpanRecord{
+		Name:    s.name,
+		StartMS: durMS(s.start.Sub(origin)),
+	}
+	if s.ended {
+		rec.DurMS = durMS(s.end.Sub(s.start))
+	}
+	if len(s.counters) > 0 {
+		rec.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			rec.Counters[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		rec.Children = append(rec.Children, c.record(origin))
+	}
+	return rec
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // benchDesign is a congestion-prone placement with spread-out cells so
@@ -72,6 +73,28 @@ func BenchmarkFullGridMaze(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p = ss.aStar(r, a, z, fullWindow(g), p[:0])
+	}
+}
+
+// BenchmarkRouteDesignObs measures the telemetry layer's overhead on the
+// full routing flow: "off" (nil recorder, the default) must track the
+// uninstrumented baseline, "on" shows the cost of per-round trace capture.
+func BenchmarkRouteDesignObs(b *testing.B) {
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			var rec *obs.Recorder
+			if mode == "on" {
+				rec = obs.New(obs.Config{})
+			}
+			g, fx := benchDesign(800)
+			r := NewRouter(g, RouterOptions{Workers: 1, Obs: rec})
+			r.RouteDesign(fx.d) // warm scratch outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RouteDesign(fx.d)
+			}
+		})
 	}
 }
 

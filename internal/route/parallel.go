@@ -183,7 +183,10 @@ func (r *Router) rrrRound() bool {
 		return false
 	}
 	r.snapshotCosts()
-	for _, batch := range r.partition(r.overflowed) {
+	batches := r.partition(r.overflowed)
+	r.roundRerouted = len(r.overflowed)
+	r.roundBatches = len(batches)
+	for _, batch := range batches {
 		for _, si := range batch {
 			r.commit(r.segs[si].path, -1)
 			r.updatePathCosts(r.segs[si].path)

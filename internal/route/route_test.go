@@ -385,3 +385,29 @@ func TestSampleBetween(t *testing.T) {
 		t.Errorf("reversed endpoints: %v", s)
 	}
 }
+
+// TestWarmRerouteNoAllocs pins the disabled-telemetry contract documented
+// on RouterOptions.Obs: with a nil recorder, a warmed-up rerouteSegment
+// (the hot path of every RRR round) performs zero allocations.
+func TestWarmRerouteNoAllocs(t *testing.T) {
+	g, fx := benchDesign(800)
+	r := NewRouter(g, RouterOptions{Workers: 1})
+	r.RouteDesign(fx.d)
+	best, span := 0, -1
+	for si := range r.segs {
+		s := &r.segs[si]
+		if d := abs(s.a.x-s.b.x) + abs(s.a.y-s.b.y); d > span {
+			span, best = d, si
+		}
+	}
+	s := &r.segs[best]
+	r.snapshotCosts()
+	ss := r.state(0)
+	s.path = r.rerouteSegment(ss, s) // warm the path buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		s.path = r.rerouteSegment(ss, s)
+	})
+	if allocs != 0 {
+		t.Errorf("warm reroute with telemetry disabled allocates %.1f/op, want 0", allocs)
+	}
+}

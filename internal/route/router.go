@@ -3,9 +3,11 @@ package route
 import (
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/steiner"
 )
 
@@ -27,6 +29,14 @@ type RouterOptions struct {
 	// else GOMAXPROCS capped). The routed Result is byte-identical for
 	// every worker count — see parallel.go for the batching contract.
 	Workers int
+	// Obs, when non-nil, records a span and per-round overflow trace for
+	// every RouteDesign call. Nil keeps the warm reroute path free of
+	// telemetry overhead (0 allocs/op, pinned by TestWarmRerouteNoAllocs)
+	// and recording never changes routing results.
+	Obs *obs.Recorder
+	// TraceLabel names this router's trace records ("route" when empty);
+	// SetTraceContext overrides it per RouteDesign call.
+	TraceLabel string
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -67,6 +77,14 @@ type Router struct {
 	workers int
 	segs    []segment
 
+	// Telemetry (see RouterOptions.Obs and SetTraceContext). roundRerouted
+	// and roundBatches are written by rrrRound for RouteDesign to record.
+	obs           *obs.Recorder
+	obsParent     *obs.Span
+	obsLabel      string
+	roundRerouted int
+	roundBatches  int
+
 	// Reusable scratch (see search.go and parallel.go).
 	costs             costSnapshot
 	states            []*searchState
@@ -83,7 +101,24 @@ type Router struct {
 
 // NewRouter wraps a grid (whose demand it owns during routing).
 func NewRouter(g *Grid, opt RouterOptions) *Router {
-	return &Router{G: g, opt: opt.withDefaults(), workers: resolveWorkers(opt.Workers)}
+	return &Router{G: g, opt: opt.withDefaults(), workers: resolveWorkers(opt.Workers), obs: opt.Obs, obsLabel: opt.TraceLabel}
+}
+
+// SetTraceContext parents subsequent RouteDesign spans under sp (nil =
+// recorder root) and labels their per-round trace records with label.
+// The placer's routability loop uses it to attribute each routing call
+// to its loop iteration.
+func (r *Router) SetTraceContext(sp *obs.Span, label string) {
+	r.obsParent = sp
+	r.obsLabel = label
+}
+
+// traceLabel is the context label for trace records ("route" default).
+func (r *Router) traceLabel() string {
+	if r.obsLabel == "" {
+		return "route"
+	}
+	return r.obsLabel
 }
 
 // Result summarizes one routing run.
@@ -109,6 +144,12 @@ type Result struct {
 // grid for metric extraction. Reroute rounds run batch-parallel (see
 // parallel.go); the result is identical for every worker count.
 func (r *Router) RouteDesign(d *db.Design) Result {
+	var sp *obs.Span
+	var t0 time.Time
+	if r.obs.Enabled() {
+		sp = obs.ChildSpan(r.obsParent, r.obs, "route")
+		t0 = r.obs.Now()
+	}
 	r.G.ResetDemand()
 	r.G.ResetHistory()
 	r.segs = r.segs[:0]
@@ -138,6 +179,15 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 	}
 
 	res := Result{Segments: len(r.segs), InitialOverflow: r.G.TotalOverflow()}
+	if r.obs.Enabled() {
+		now := r.obs.Now()
+		r.obs.RecordRouteRound(obs.RouteRound{
+			Context: r.traceLabel(), Round: 0,
+			Overflow: res.InitialOverflow, Rerouted: len(r.segs),
+			WallMS: wallMS(now.Sub(t0)),
+		})
+		t0 = now
+	}
 	for iter := 0; iter < r.opt.MaxRRRIters; iter++ {
 		if r.G.TotalOverflow() <= 0 {
 			break
@@ -146,13 +196,37 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 		if !r.rrrRound() {
 			break
 		}
+		if r.obs.Enabled() {
+			now := r.obs.Now()
+			r.obs.RecordRouteRound(obs.RouteRound{
+				Context: r.traceLabel(), Round: iter + 1,
+				Overflow: r.G.TotalOverflow(), Rerouted: r.roundRerouted,
+				Batches: r.roundBatches, WallMS: wallMS(now.Sub(t0)),
+			})
+			t0 = now
+		}
 	}
 	for si := range r.segs {
 		res.WirelengthTiles += len(r.segs[si].path) - 1
 	}
 	res.Overflow = r.G.TotalOverflow()
 	res.MaxCongestion = r.G.MaxCongestion()
+	if sp != nil {
+		sp.Add("segments", int64(res.Segments))
+		sp.Add("rrr_iters", int64(res.RRRIters))
+		sp.Add("wirelength_tiles", int64(res.WirelengthTiles))
+		sp.End()
+		r.obs.Log().Debug("route design",
+			"context", r.traceLabel(), "segments", res.Segments,
+			"initial_overflow", res.InitialOverflow, "overflow", res.Overflow,
+			"max_congestion", res.MaxCongestion, "rrr_iters", res.RRRIters)
+	}
 	return res
+}
+
+// wallMS converts a duration to fractional milliseconds.
+func wallMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 func abs(a int) int {

@@ -78,16 +78,29 @@ func CongestionSVG(w io.Writer, g *route.Grid, width float64) error {
 	if g.NX < 1 || g.NY < 1 {
 		return fmt.Errorf("viz: empty grid")
 	}
-	cong := g.TileCongestion()
-	tileW := width / float64(g.NX)
-	height := tileW * float64(g.NY)
+	return HeatmapSVG(w, g.NX, g.NY, g.TileCongestion(), width)
+}
+
+// HeatmapSVG renders a raw nx×ny congestion map (row-major, tile (0,0) at
+// the lower left) with the same color ramp as CongestionSVG. It accepts
+// data captured earlier — e.g. per-round heatmaps from an obs.Recorder —
+// without needing a live grid.
+func HeatmapSVG(w io.Writer, nx, ny int, cong []float64, width float64) error {
+	if nx < 1 || ny < 1 {
+		return fmt.Errorf("viz: empty heatmap")
+	}
+	if len(cong) != nx*ny {
+		return fmt.Errorf("viz: heatmap has %d tiles, want %d×%d", len(cong), nx, ny)
+	}
+	tileW := width / float64(nx)
+	height := tileW * float64(ny)
 	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
 		width, height, width, height)
-	for ty := 0; ty < g.NY; ty++ {
-		for tx := 0; tx < g.NX; tx++ {
-			c := cong[ty*g.NX+tx]
+	for ty := 0; ty < ny; ty++ {
+		for tx := 0; tx < nx; tx++ {
+			c := cong[ty*nx+tx]
 			fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
-				float64(tx)*tileW, float64(g.NY-1-ty)*tileW, tileW, tileW, heatColor(c))
+				float64(tx)*tileW, float64(ny-1-ty)*tileW, tileW, tileW, heatColor(c))
 		}
 	}
 	fmt.Fprintf(w, `<rect x="0" y="0" width="%.2f" height="%.2f" fill="none" stroke="#000" stroke-width="1"/>`+"\n", width, height)
