@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router
+.PHONY: all build check vet fmt test race bench bench-obs bench-router serve test-serve
 
 all: check
 
@@ -24,7 +24,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/...
+
+# Run the placement job server locally (see DESIGN.md §9).
+serve:
+	$(GO) run ./cmd/placerd -addr :8080 -log-level info
+
+# The serving-layer suite alone, race-checked — the e2e submits a real
+# placement job over HTTP and follows its SSE stream to completion.
+test-serve:
+	$(GO) test -race -v ./internal/serve/
 
 # Table-2 style placement benchmarks (see DESIGN.md).
 bench:

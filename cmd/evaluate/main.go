@@ -12,14 +12,18 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/bookshelf"
 	"repro/internal/db"
@@ -44,6 +48,7 @@ func run() error {
 		svgPath = flag.String("svg", "", "write a congestion heatmap SVG here")
 		rrr     = flag.Int("rrr", 0, "rip-up and reroute rounds (0 = default)")
 		workers = flag.Int("workers", 0, "router worker count (0 = auto, honors REPRO_WORKERS)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a partial -report is still written")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		report  = flag.String("report", "", "write a machine-readable JSON run report to this file")
@@ -84,6 +89,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// SIGINT/SIGTERM and -timeout cancel the routing run through its
+	// context; the -report post-mortem is still flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	d, err := bookshelf.ReadDesign(*auxPath)
 	if err != nil {
 		return err
@@ -106,11 +120,11 @@ func run() error {
 		fmt.Printf("HPWL %.6g (no .route file: congestion scoring skipped)\n", d.HPWL())
 		return finishEvaluate(rec, d, row, *report, *asJSON, *rrr, *workers)
 	}
-	m, err := route.EvaluateDesign(d, route.RouterOptions{
+	m, err := route.EvaluateDesignCtx(ctx, d, route.RouterOptions{
 		MaxRRRIters: *rrr, Workers: *workers, Obs: rec, TraceLabel: "evaluate",
 	})
 	if err != nil {
-		return err
+		return flushCanceledReport(rec, *report, d, *rrr, *workers, err)
 	}
 	// The row carries no wall time: evaluate's stdout stays byte-identical
 	// across runs and worker counts (the determinism check diffs it), and
@@ -146,6 +160,26 @@ func run() error {
 		fmt.Println("wrote", *svgPath)
 	}
 	return finishEvaluate(rec, d, row, *report, *asJSON, *rrr, *workers)
+}
+
+// flushCanceledReport writes the -report post-mortem for a run that ended
+// early — with the canceled marker when the cause was SIGINT or -timeout —
+// and passes the run error through.
+func flushCanceledReport(rec *obs.Recorder, report string, d *db.Design, rrr, workers int, runErr error) error {
+	if report == "" {
+		return runErr
+	}
+	rep := rec.BuildReport()
+	rep.Tool = "evaluate"
+	rep.Design = obs.DescribeDesign(d)
+	rep.Config = map[string]any{"rrr": rrr, "workers": workers}
+	rep.Canceled = errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
+	if err := rep.WriteFile(report); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate: report:", err)
+	} else {
+		fmt.Println("wrote", report)
+	}
+	return runErr
 }
 
 // buildRecorder constructs the telemetry recorder the flags ask for, or

@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/bookshelf"
@@ -59,6 +63,7 @@ func run() error {
 		rowFlip   = flag.Bool("row-flip", false, "flip alternate rows (FS) for power-rail sharing after placement")
 		evaluate  = flag.Bool("evaluate", true, "globally route and report RC / scaled HPWL")
 		workers   = flag.Int("workers", 0, "worker count for parallel kernels (0 = auto, honors REPRO_WORKERS)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a partial -report is still written")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		report    = flag.String("report", "", "write a machine-readable JSON run report to this file")
@@ -99,6 +104,16 @@ func run() error {
 		return err
 	}
 
+	// SIGINT/SIGTERM and -timeout cancel the run through the placement
+	// flow's context; the -report post-mortem is still flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	d, err := loadDesign(*auxPath, *synth, *seed)
 	if err != nil {
 		return err
@@ -121,9 +136,9 @@ func run() error {
 		return err
 	}
 	t0 := time.Now()
-	res, err := placer.Place(d)
+	res, err := placer.PlaceContext(ctx, d)
 	if err != nil {
-		return err
+		return flushCanceledReport(rec, *report, cfg, d, err)
 	}
 	total := time.Since(t0)
 
@@ -144,9 +159,9 @@ func run() error {
 		GPTime: res.GPTime, TotalTime: total,
 	}
 	if *evaluate && d.Route != nil {
-		m, err := route.EvaluateDesign(d, route.RouterOptions{Workers: *workers, Obs: rec, TraceLabel: "evaluate"})
+		m, err := route.EvaluateDesignCtx(ctx, d, route.RouterOptions{Workers: *workers, Obs: rec, TraceLabel: "evaluate"})
 		if err != nil {
-			return err
+			return flushCanceledReport(rec, *report, cfg, d, err)
 		}
 		row.ScaledHPWL = m.ScaledHPWL
 		row.RC = m.RC
@@ -194,6 +209,26 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// flushCanceledReport writes the -report post-mortem for a run that ended
+// early — with the canceled marker when the cause was SIGINT or -timeout —
+// and passes the run error through.
+func flushCanceledReport(rec *obs.Recorder, report string, cfg core.Config, d *db.Design, runErr error) error {
+	if report == "" {
+		return runErr
+	}
+	rep := rec.BuildReport()
+	rep.Tool = "placer"
+	rep.Design = obs.DescribeDesign(d)
+	rep.Config = cfg
+	rep.Canceled = errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
+	if err := rep.WriteFile(report); err != nil {
+		fmt.Fprintln(os.Stderr, "placer: report:", err)
+	} else {
+		fmt.Println("wrote", report)
+	}
+	return runErr
 }
 
 // buildRecorder constructs the telemetry recorder the flags ask for, or

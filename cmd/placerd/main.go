@@ -1,0 +1,102 @@
+// Command placerd serves the placement flow as a job server: an HTTP
+// JSON API that accepts Bookshelf placement jobs, runs them on a bounded
+// worker pool, and streams per-round progress live over Server-Sent
+// Events.
+//
+// Usage:
+//
+//	placerd [-addr :8080] [-queue 16] [-jobs 1] [-allow-dir bench/]
+//
+// Submit a job and follow it:
+//
+//	curl -s localhost:8080/jobs -d '{"synth":"sb-a"}'
+//	curl -N localhost:8080/jobs/job-000001/events
+//	curl -s localhost:8080/jobs/job-000001/report | jq .rounds
+//
+// SIGINT/SIGTERM triggers a graceful drain: in-flight jobs get -drain to
+// finish, then are canceled through their contexts (observed within one
+// GP round or reroute batch).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "placerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		queue    = flag.Int("queue", 16, "bounded job queue size (submissions beyond it get 429)")
+		jobs     = flag.Int("jobs", 1, "jobs run concurrently")
+		workers  = flag.Int("workers", 0, "per-job kernel worker count (0 = auto, honors REPRO_WORKERS)")
+		allowDir = flag.String("allow-dir", "", "directory tree .aux path jobs may reference (empty = path jobs disabled)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before in-flight jobs are canceled")
+		maxBody  = flag.Int64("max-body", 32<<20, "submission body size limit in bytes")
+		verbose  = flag.Bool("verbose", false, "debug logging (shorthand for -log-level debug)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+	)
+	flag.Parse()
+
+	if *verbose {
+		*logLevel = "debug"
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", *logLevel)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+
+	mgr := serve.NewManager(serve.Options{
+		QueueSize: *queue,
+		Jobs:      *jobs,
+		Workers:   *workers,
+		AllowDir:  *allowDir,
+		Logger:    logger,
+	})
+	api := serve.NewServer(mgr, serve.ServerOptions{MaxBodyBytes: *maxBody})
+	srv := &http.Server{Addr: *addr, Handler: api}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("placerd listening", "addr", *addr, "queue", *queue, "jobs", *jobs)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logger.Info("draining", "deadline", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mgr.Shutdown(dctx); err != nil {
+		logger.Warn("drain deadline hit, jobs canceled", "err", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

@@ -32,11 +32,27 @@ package bookshelf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"strconv"
 	"strings"
 )
+
+// ErrInvalidDesign marks input that parsed but failed design validation
+// (dangling references, inconsistent geometry, ...). It is wrapped into
+// the reader's validation failures so errors.Is can classify them.
+var ErrInvalidDesign = errors.New("invalid design")
+
+// IsBadInput reports whether err stems from malformed or inconsistent
+// design input — a parse error, a missing design file, or a validation
+// failure — as opposed to an environmental failure. The placerd job
+// server maps bad input to HTTP 400 and everything else to 500.
+func IsBadInput(err error) bool {
+	var pe *ParseError
+	return errors.As(err, &pe) || errors.Is(err, fs.ErrNotExist) || errors.Is(err, ErrInvalidDesign)
+}
 
 // scanner wraps line-based parsing with position tracking, comment
 // stripping and the "Key : values" splitting that all Bookshelf files use.
@@ -74,9 +90,24 @@ func (sc *scanner) next() bool {
 	return false
 }
 
-// errf builds an error tagged with file and line.
+// ParseError locates a syntax or consistency error in a Bookshelf file.
+// Every malformed-input error the reader produces is (or wraps) one of
+// these, so callers — the placerd job server in particular — can
+// distinguish bad input (HTTP 400) from environmental failures (500) with
+// errors.As, and surface the offending file and line to the user.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// errf builds a *ParseError tagged with the scanner's file and line.
 func (sc *scanner) errf(format string, args ...any) error {
-	return fmt.Errorf("%s:%d: %s", sc.file, sc.line, fmt.Sprintf(format, args...))
+	return &ParseError{File: sc.file, Line: sc.line, Msg: fmt.Sprintf(format, args...)}
 }
 
 // keyValue splits "Key : v1 v2" into key and value fields. ok is false when

@@ -1,0 +1,75 @@
+package bookshelf
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedNodesLineCarriesContext pins the typed-error contract the
+// serving layer's 400-vs-500 classification builds on: a broken .nodes
+// line must surface as a *ParseError naming the file and line.
+func TestMalformedNodesLineCarriesContext(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("t.aux", "RowBasedPlacement : t.nodes t.nets\n")
+	write("t.nodes", "UCLA nodes 1.0\nc0 4 2\nc1 4\n") // line 3: missing height
+	write("t.nets", "UCLA nets 1.0\n")
+
+	_, err := ReadDesign(filepath.Join(dir, "t.aux"))
+	if err == nil {
+		t.Fatal("ReadDesign accepted a malformed .nodes line")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want a wrapped *ParseError", err, err)
+	}
+	if !strings.HasSuffix(pe.File, "t.nodes") || pe.Line != 3 {
+		t.Errorf("ParseError locates %s:%d, want t.nodes:3", pe.File, pe.Line)
+	}
+	if !strings.Contains(err.Error(), "t.nodes:3") {
+		t.Errorf("error text %q does not carry file:line", err)
+	}
+	if !IsBadInput(err) {
+		t.Error("IsBadInput(parse error) = false, want true")
+	}
+}
+
+func TestIsBadInputClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"parse error", &ParseError{File: "x", Line: 1, Msg: "bad"}, true},
+		{"wrapped parse error", errors.Join(errors.New("ctx"), &ParseError{}), true},
+		{"missing file", fs.ErrNotExist, true},
+		{"invalid design", ErrInvalidDesign, true},
+		{"environmental", errors.New("disk on fire"), false},
+	}
+	for _, c := range cases {
+		if got := IsBadInput(c.err); got != c.want {
+			t.Errorf("IsBadInput(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMissingAuxIsBadInput: a nonexistent path is the client's mistake,
+// not the server's.
+func TestMissingAuxIsBadInput(t *testing.T) {
+	_, err := ReadDesign(filepath.Join(t.TempDir(), "nope.aux"))
+	if err == nil {
+		t.Fatal("ReadDesign accepted a missing .aux")
+	}
+	if !IsBadInput(err) {
+		t.Errorf("IsBadInput(%v) = false, want true", err)
+	}
+}

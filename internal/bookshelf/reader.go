@@ -73,12 +73,12 @@ func (r *reader) read(name string, files Files) (*db.Design, error) {
 		err = st.fn(f, st.file)
 		f.Close()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("bookshelf: %w", err)
 		}
 	}
 	r.deriveDie()
 	if err := r.design.Validate(); err != nil {
-		return nil, fmt.Errorf("bookshelf: loaded design invalid: %w", err)
+		return nil, fmt.Errorf("bookshelf: loaded design %w: %w", ErrInvalidDesign, err)
 	}
 	return r.design, nil
 }

@@ -138,6 +138,12 @@ func writeWts(w io.Writer, d *db.Design) error {
 	return nil
 }
 
+// WritePl writes just the placement (.pl) file for the design — the
+// artifact the placer CLIs and the placerd result endpoint ship.
+func WritePl(w io.Writer, d *db.Design) error {
+	return writePl(w, d)
+}
+
 func writePl(w io.Writer, d *db.Design) error {
 	fmt.Fprintf(w, "UCLA pl 1.0\n\n")
 	for i := range d.Cells {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+func TestPlaceContextPreCanceled(t *testing.T) {
+	d := gen.MustGenerate(smallCfg())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	_, err := MustNew(Config{}).PlaceContext(ctx, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlaceContext(canceled ctx) err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Errorf("pre-canceled placement took %v, want immediate return", el)
+	}
+}
+
+// TestPlaceContextCancelWithinOneRound pins the cancellation granularity
+// the serving layer relies on: after cancel, at most one more GP round
+// completes (the one whose CG run the Stop hook aborts mid-flight) —
+// measured by counting recorded rounds, not wall clock, so the test is
+// immune to machine speed.
+func TestPlaceContextCancelWithinOneRound(t *testing.T) {
+	d := gen.MustGenerate(gen.Congested(800, 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rounds, atCancel atomic.Int64
+	rec := obs.New(obs.Config{OnEvent: func(e obs.Event) {
+		if e.GP == nil {
+			return
+		}
+		if n := rounds.Add(1); n == 3 {
+			atCancel.Store(n)
+			cancel()
+		}
+	}})
+	before := runtime.NumGoroutine()
+	_, err := MustNew(Config{RoutabilityIters: 3, Obs: rec}).PlaceContext(ctx, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlaceContext err = %v, want context.Canceled", err)
+	}
+	if atCancel.Load() == 0 {
+		t.Fatal("placement finished before the third GP round; design too small for this test")
+	}
+	if total := rounds.Load(); total > atCancel.Load()+1 {
+		t.Errorf("%d GP rounds ran after cancellation (total %d, canceled at %d), want at most 1",
+			total-atCancel.Load(), total, atCancel.Load())
+	}
+	// All kernel workers must have wound down with the run.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Errorf("goroutines grew from %d to %d after canceled placement", before, n)
+	}
+}
+
+// TestPlaceContextBackgroundMatchesPlace guards the compatibility
+// contract: a never-canceled context must not change results.
+func TestPlaceContextBackgroundMatchesPlace(t *testing.T) {
+	d1 := gen.MustGenerate(smallCfg())
+	d2 := gen.MustGenerate(smallCfg())
+	r1, err := MustNew(Config{DisableRoutability: true}).Place(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MustNew(Config{DisableRoutability: true}).PlaceContext(context.Background(), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HPWLFinal != r2.HPWLFinal || r1.CGIters != r2.CGIters {
+		t.Errorf("PlaceContext(Background) diverged from Place: HPWL %v/%v, CG iters %d/%d",
+			r1.HPWLFinal, r2.HPWLFinal, r1.CGIters, r2.CGIters)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/cluster"
@@ -311,7 +312,11 @@ func (s *levelSolver) maxFenceDist(x, y []float64) float64 {
 
 // solve runs the λ-escalation loop. Positions are read from and written
 // back to the problem. trace, when non-nil, records the convergence curve.
-func (s *levelSolver) solve(trace *Trace) gpStats {
+// Cancellation of ctx aborts between CG iterations (the Stop hook) and
+// between λ rounds; the partially-spread positions are still written back
+// so callers can inspect (or report on) the state the run died in. A ctx
+// that is never canceled does not perturb the trajectory.
+func (s *levelSolver) solve(ctx context.Context, trace *Trace) gpStats {
 	n := s.p.NumObjs()
 	v := make([]float64, 2*n)
 	copy(v[:n], s.p.X)
@@ -324,6 +329,10 @@ func (s *levelSolver) solve(trace *Trace) gpStats {
 	if s.startMu > 0 {
 		s.mu = s.startMu
 	}
+	var stop func() bool
+	if ctx != nil && ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
+	}
 
 	stats := gpStats{}
 	iterBase := 0
@@ -331,6 +340,9 @@ func (s *levelSolver) solve(trace *Trace) gpStats {
 	prevFine := math.Inf(1)
 	prevOv := math.Inf(1)
 	for round := 0; round < s.cfg.MaxLambdaRounds; round++ {
+		if stop != nil && stop() {
+			break
+		}
 		stats.LambdaRounds = round + 1
 		rsp := s.span.StartSpanf("round-%d", round)
 		var onIter func(int, float64)
@@ -357,6 +369,7 @@ func (s *levelSolver) solve(trace *Trace) gpStats {
 			StepInit: step,
 			Project:  s.project,
 			OnIter:   onIter,
+			Stop:     stop,
 		})
 		stats.CGIters += res.Iters
 		iterBase += res.Iters

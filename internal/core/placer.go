@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -41,6 +42,24 @@ func MustNew(cfg Config) *Placer {
 // legalization and detailed placement on d, mutating cell positions (and
 // orientations, and macro Fixed flags). It returns the run report.
 func (pl *Placer) Place(d *db.Design) (Result, error) {
+	return pl.PlaceContext(context.Background(), d)
+}
+
+// Canceled wraps the context error of an aborted placement so callers can
+// both errors.Is against context.Canceled/DeadlineExceeded and see which
+// stage the run died in.
+func canceled(stage string, err error) error {
+	return fmt.Errorf("core: placement canceled during %s: %w", stage, err)
+}
+
+// PlaceContext is Place honoring ctx for cancellation and deadlines.
+// Cancellation is observed at CG-iteration, λ-round, routability-iteration
+// and reroute-batch granularity, so a canceled run returns within a
+// fraction of one GP round. The design is left in whatever intermediate
+// state the flow reached — callers that must not ship partial placements
+// should treat a non-nil error as "discard d". A ctx that never cancels
+// leaves results byte-identical to Place.
+func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error) {
 	cfg := pl.cfg
 	res := Result{}
 	if len(d.Cells) == 0 {
@@ -97,7 +116,7 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 		s.rec = rec
 		s.level = l
 		s.span = gpSp.StartSpanf("level-%d", l)
-		st := s.solve(trace)
+		st := s.solve(ctx, trace)
 		if s.span != nil {
 			s.span.Add("lambda_rounds", int64(st.LambdaRounds))
 			s.span.Add("cg_iters", int64(st.CGIters))
@@ -108,6 +127,11 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 		res.Overflow = st.Overflow
 		lastLambda = st.FinalLambda
 		lastMu = st.FinalMu
+		if err := ctx.Err(); err != nil {
+			gpSp.End()
+			writeBack(d, prob, pm)
+			return res, canceled("global placement", err)
+		}
 		if l > 0 {
 			hier.Interpolate(l - 1)
 		}
@@ -124,13 +148,16 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 	var routedGrid *route.Grid
 	if !cfg.DisableRoutability && d.Route != nil {
 		t1 := time.Now()
-		g, err := pl.routabilityLoop(d, prob, pm, fixed, target, lastLambda, lastMu, &res)
+		g, err := pl.routabilityLoop(ctx, d, prob, pm, fixed, target, lastLambda, lastMu, &res)
 		if err != nil {
 			return res, err
 		}
 		routedGrid = g
 		res.RouteOptTime = time.Since(t1)
 		res.HPWLGlobal = d.HPWL()
+	}
+	if err := ctx.Err(); err != nil {
+		return res, canceled("routability", err)
 	}
 
 	// ---- Macro orientation ------------------------------------------
@@ -156,6 +183,9 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 	res.LegalTime = time.Since(t2)
 	res.HPWLLegal = d.HPWL()
 	rec.Log().Debug("legalization done", "fallbacks", lres.Fallbacks, "hpwl", res.HPWLLegal)
+	if err := ctx.Err(); err != nil {
+		return res, canceled("legalization", err)
+	}
 
 	// ---- Detailed placement ------------------------------------------
 	if !cfg.DisableDP {
@@ -181,8 +211,10 @@ func (pl *Placer) Place(d *db.Design) (Result, error) {
 }
 
 // routabilityLoop runs estimate → inflate → respread rounds on the level-0
-// problem, updating design positions after each round.
-func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *problemMap, fixed []geom.Rect, target float64, lastLambda, lastMu float64, res *Result) (*route.Grid, error) {
+// problem, updating design positions after each round. Cancellation of
+// ctx aborts between (and inside, at batch granularity) routing calls and
+// respread rounds.
+func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *cluster.Problem, pm *problemMap, fixed []geom.Rect, target float64, lastLambda, lastMu float64, res *Result) (*route.Grid, error) {
 	cfg := pl.cfg
 	rec := cfg.Obs
 	grid, err := route.NewGrid(d)
@@ -222,7 +254,11 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		// The congestion signal is the *routed* demand map: the design is
 		// globally routed with a reduced rip-up budget and the leftover
 		// per-tile utilization marks the spots placement must relieve.
-		router.RouteDesign(d)
+		if _, err := router.RouteDesignCtx(ctx, d); err != nil {
+			iterSp.End()
+			loopSp.End()
+			return nil, canceled("routability", err)
+		}
 		if rec.HeatmapsEnabled() {
 			rec.RecordHeatmap(fmt.Sprintf("routability-%d", iter), grid.NX, grid.NY, grid.TileCongestion())
 		}
@@ -316,13 +352,17 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 		s.rec = rec
 		s.phase = "respread"
 		s.span = iterSp.StartSpan("respread")
-		st := s.solve(nil)
+		st := s.solve(ctx, nil)
 		s.span.End()
 		res.LambdaRounds += st.LambdaRounds
 		res.CGIters += st.CGIters
 		res.Overflow = st.Overflow
 		writeBack(d, prob, pm)
 		iterSp.End()
+		if err := ctx.Err(); err != nil {
+			loopSp.End()
+			return nil, canceled("routability", err)
+		}
 		if d.HPWL() > hpwlBudget {
 			break
 		}
@@ -338,12 +378,18 @@ func (pl *Placer) routabilityLoop(d *db.Design, prob *cluster.Problem, pm *probl
 	if rec.Enabled() {
 		router.SetTraceContext(loopSp, "final")
 	}
-	router.RouteDesign(d)
+	if _, err := router.RouteDesignCtx(ctx, d); err != nil {
+		loopSp.End()
+		return nil, canceled("routability", err)
+	}
 	if scoreNow() > bestScore {
 		copy(prob.X, bestX)
 		copy(prob.Y, bestY)
 		writeBack(d, prob, pm)
-		router.RouteDesign(d)
+		if _, err := router.RouteDesignCtx(ctx, d); err != nil {
+			loopSp.End()
+			return nil, canceled("routability", err)
+		}
 	}
 	final := CongStat{ACE: grid.ACEProfile()}
 	for _, c := range grid.TileCongestion() {

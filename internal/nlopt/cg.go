@@ -40,6 +40,12 @@ type Options struct {
 	// iteration index and current objective value; placement experiments
 	// use it to record convergence traces.
 	OnIter func(iter int, f float64)
+	// Stop, when non-nil, is polled once per iteration before any work;
+	// returning true aborts the run with the current iterate intact. The
+	// placer wires context cancellation through it so a canceled job
+	// returns at CG-iteration granularity. A Stop that never fires does
+	// not perturb the trajectory, so results are unchanged when unused.
+	Stop func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +122,9 @@ func CG(f Func, v []float64, opt Options) Result {
 	step := opt.StepInit
 
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if opt.Stop != nil && opt.Stop() {
+			break
+		}
 		res.Iters = iter + 1
 		gnorm := infNorm(grad)
 		if gnorm <= opt.GradTol {

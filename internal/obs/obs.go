@@ -31,6 +31,18 @@ type Config struct {
 	// Clock overrides time.Now for spans and wall-time measurements
 	// (tests inject a fake clock to make timings deterministic).
 	Clock func() time.Time
+	// OnEvent, when non-nil, is invoked synchronously (outside the
+	// recorder lock, from the recording goroutine) for every GP and
+	// routing round as it is recorded — the live-progress tap the serving
+	// layer streams over SSE. The callback must be fast and must not
+	// block; hand the event to a channel or buffer and return.
+	OnEvent func(Event)
+}
+
+// Event is one live telemetry sample: exactly one of GP and Route is set.
+type Event struct {
+	GP    *GPRound    `json:"gp,omitempty"`
+	Route *RouteRound `json:"route,omitempty"`
 }
 
 // Recorder is the telemetry sink for one run. All methods are safe for
@@ -40,6 +52,7 @@ type Recorder struct {
 	now             func() time.Time
 	start           time.Time
 	captureHeatmaps bool
+	onEvent         func(Event)
 
 	mu    sync.Mutex
 	spans []*Span
@@ -59,6 +72,7 @@ func New(cfg Config) *Recorder {
 		now:             now,
 		start:           now(),
 		captureHeatmaps: cfg.CaptureHeatmaps,
+		onEvent:         cfg.OnEvent,
 	}
 }
 
@@ -137,7 +151,8 @@ type Heatmap struct {
 	Cong  []float64 `json:"cong"`
 }
 
-// RecordGPRound appends one GP convergence sample.
+// RecordGPRound appends one GP convergence sample and publishes it to the
+// OnEvent subscriber.
 func (r *Recorder) RecordGPRound(g GPRound) {
 	if r == nil {
 		return
@@ -145,9 +160,16 @@ func (r *Recorder) RecordGPRound(g GPRound) {
 	r.mu.Lock()
 	r.gp = append(r.gp, g)
 	r.mu.Unlock()
+	if r.onEvent != nil {
+		// Copy into a branch-local so the parameter itself never escapes:
+		// the hot no-subscriber path stays allocation-free.
+		ev := g
+		r.onEvent(Event{GP: &ev})
+	}
 }
 
-// RecordRouteRound appends one routing round sample.
+// RecordRouteRound appends one routing round sample and publishes it to
+// the OnEvent subscriber.
 func (r *Recorder) RecordRouteRound(t RouteRound) {
 	if r == nil {
 		return
@@ -155,6 +177,10 @@ func (r *Recorder) RecordRouteRound(t RouteRound) {
 	r.mu.Lock()
 	r.route = append(r.route, t)
 	r.mu.Unlock()
+	if r.onEvent != nil {
+		ev := t
+		r.onEvent(Event{Route: &ev})
+	}
 }
 
 // HeatmapsEnabled reports whether RecordHeatmap will retain data; call

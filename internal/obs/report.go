@@ -20,6 +20,11 @@ type Report struct {
 	Version int    `json:"version"`
 	Tool    string `json:"tool,omitempty"`
 
+	// Canceled marks a run that was aborted by cancellation or timeout;
+	// the rest of the report describes the state the run died in (the
+	// CLIs and placerd still flush a full report on cancellation).
+	Canceled bool `json:"canceled,omitempty"`
+
 	Design *DesignInfo `json:"design,omitempty"`
 	// Config is the tool configuration (the placer's core.Config, or a
 	// CLI-specific record for the evaluator).

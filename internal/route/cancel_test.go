@@ -1,0 +1,82 @@
+package route
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+func cancelTestDesign(t *testing.T) (*Router, *Grid, *db.Design) {
+	t.Helper()
+	d := gen.MustGenerate(gen.Config{
+		Name: "rt-cancel", Seed: 5, NumStdCells: 200, NumFixedMacros: 2,
+		NumMovableMacros: 1, NumModules: 2, NumFences: 1, NumTerminals: 8,
+		TargetUtil: 0.6,
+	})
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%97)/97*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*61)%89)/89*d.Die.H(),
+		})
+	}
+	g, err := NewGrid(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRouter(g, RouterOptions{}), g, d
+}
+
+func TestRouteDesignCtxPreCanceled(t *testing.T) {
+	r, g, d := cancelTestDesign(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := r.RouteDesignCtx(ctx, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RouteDesignCtx(canceled) err = %v, want context.Canceled", err)
+	}
+	if res.Segments != 0 {
+		t.Errorf("canceled routing committed %d segments, want none", res.Segments)
+	}
+	var dem float64
+	for _, v := range g.HDem {
+		dem += v
+	}
+	for _, v := range g.VDem {
+		dem += v
+	}
+	if dem != 0 {
+		t.Errorf("canceled routing left %v track demand on the grid", dem)
+	}
+}
+
+// TestRouteDesignCtxBackgroundMatchesRouteDesign guards the delegation
+// contract: threading a live context must not change the routing result.
+func TestRouteDesignCtxBackgroundMatchesRouteDesign(t *testing.T) {
+	r1, _, d1 := cancelTestDesign(t)
+	r2, _, d2 := cancelTestDesign(t)
+	a := r1.RouteDesign(d1)
+	b, err := r2.RouteDesignCtx(context.Background(), d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("RouteDesignCtx(Background) = %+v, RouteDesign = %+v", b, a)
+	}
+}
+
+// TestEvaluateDesignCtxCanceled: the metrics entry point propagates
+// cancellation instead of scoring a half-routed design.
+func TestEvaluateDesignCtxCanceled(t *testing.T) {
+	_, _, d := cancelTestDesign(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvaluateDesignCtx(ctx, d, RouterOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateDesignCtx(canceled) err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -112,12 +113,21 @@ type Metrics struct {
 // returns the full contest metric set. This is the evaluator the
 // experiment tables call after placement.
 func EvaluateDesign(d *db.Design, opt RouterOptions) (Metrics, error) {
+	return EvaluateDesignCtx(context.Background(), d, opt)
+}
+
+// EvaluateDesignCtx is EvaluateDesign honoring ctx; on cancellation the
+// zero Metrics and ctx's error are returned.
+func EvaluateDesignCtx(ctx context.Context, d *db.Design, opt RouterOptions) (Metrics, error) {
 	g, err := NewGrid(d)
 	if err != nil {
 		return Metrics{}, err
 	}
 	r := NewRouter(g, opt)
-	res := r.RouteDesign(d)
+	res, err := r.RouteDesignCtx(ctx, d)
+	if err != nil {
+		return Metrics{}, err
+	}
 	ace := g.ACEProfile()
 	rc := RC(ace)
 	hp := d.HPWL()

@@ -187,6 +187,12 @@ func (r *Router) rrrRound() bool {
 	r.roundRerouted = len(r.overflowed)
 	r.roundBatches = len(batches)
 	for _, batch := range batches {
+		// Cancellation is observed only here, between batches: every path
+		// is either fully committed or untouched, so a canceled routing
+		// call still leaves the grid demand consistent.
+		if r.ctx != nil && r.ctx.Err() != nil {
+			break
+		}
 		for _, si := range batch {
 			r.commit(r.segs[si].path, -1)
 			r.updatePathCosts(r.segs[si].path)

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -77,6 +78,11 @@ type Router struct {
 	workers int
 	segs    []segment
 
+	// ctx is the cancellation context of the RouteDesignCtx call in
+	// flight; it is polled only at batch boundaries so the committed
+	// demand stays consistent (see rrrRound). Nil between calls.
+	ctx context.Context
+
 	// Telemetry (see RouterOptions.Obs and SetTraceContext). roundRerouted
 	// and roundBatches are written by rrrRound for RouteDesign to record.
 	obs           *obs.Recorder
@@ -144,6 +150,18 @@ type Result struct {
 // grid for metric extraction. Reroute rounds run batch-parallel (see
 // parallel.go); the result is identical for every worker count.
 func (r *Router) RouteDesign(d *db.Design) Result {
+	res, _ := r.RouteDesignCtx(context.Background(), d)
+	return res
+}
+
+// RouteDesignCtx is RouteDesign honoring ctx: cancellation is observed
+// between reroute batches (never inside one), so the grid demand the
+// router leaves behind is always the consistent image of every committed
+// path. On cancellation the partial Result and ctx's error are returned.
+// A ctx that never cancels yields byte-identical results to RouteDesign.
+func (r *Router) RouteDesignCtx(ctx context.Context, d *db.Design) (Result, error) {
+	r.ctx = ctx
+	defer func() { r.ctx = nil }()
 	var sp *obs.Span
 	var t0 time.Time
 	if r.obs.Enabled() {
@@ -172,6 +190,9 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 		}
 		return order[i] < order[j]
 	})
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	for _, si := range order {
 		s := &r.segs[si]
 		s.path = r.patternRouteInto(s.path[:0], s.a, s.b)
@@ -189,7 +210,7 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 		t0 = now
 	}
 	for iter := 0; iter < r.opt.MaxRRRIters; iter++ {
-		if r.G.TotalOverflow() <= 0 {
+		if ctx.Err() != nil || r.G.TotalOverflow() <= 0 {
 			break
 		}
 		res.RRRIters = iter + 1
@@ -221,7 +242,7 @@ func (r *Router) RouteDesign(d *db.Design) Result {
 			"initial_overflow", res.InitialOverflow, "overflow", res.Overflow,
 			"max_congestion", res.MaxCongestion, "rrr_iters", res.RRRIters)
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // wallMS converts a duration to fractional milliseconds.

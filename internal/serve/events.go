@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Event type tags of the SSE progress stream.
+const (
+	// EventState marks a lifecycle transition (running, done, failed,
+	// canceled); terminal states complete the stream.
+	EventState = "state"
+	// EventGP is one λ round of global placement (obs.GPRound payload).
+	EventGP = "gp"
+	// EventRoute is one global-routing round (obs.RouteRound payload).
+	EventRoute = "route"
+)
+
+// Event is one message of a job's progress stream. Seq is assigned by the
+// broker and doubles as the SSE event id, so clients can resume with
+// ?from=<seq+1> after a dropped connection.
+type Event struct {
+	Seq   int             `json:"seq"`
+	Type  string          `json:"type"`
+	State State           `json:"state,omitempty"`
+	Error string          `json:"error,omitempty"`
+	GP    *obs.GPRound    `json:"gp,omitempty"`
+	Route *obs.RouteRound `json:"route,omitempty"`
+}
+
+// broker is a per-job publish/subscribe hub with full history: events are
+// appended to an ordered log and subscribers follow the log by index, so
+// any number of SSE clients can attach at any time, replay from any
+// sequence number, and never miss or reorder an event. Publishing never
+// blocks on slow consumers — readers pull at their own pace.
+type broker struct {
+	mu     sync.Mutex
+	events []Event
+	done   bool
+	// sig is closed (and replaced) on every publish and on closeStream —
+	// a broadcast that wakes all waiting subscribers. Waiting on a
+	// channel rather than a sync.Cond lets subscribers select against
+	// their client's disconnect at the same time.
+	sig chan struct{}
+}
+
+func newBroker() *broker {
+	return &broker{sig: make(chan struct{})}
+}
+
+// publish appends e to the log (assigning its Seq) and wakes subscribers.
+// Events published after closeStream are dropped.
+func (b *broker) publish(e Event) {
+	b.mu.Lock()
+	if b.done {
+		b.mu.Unlock()
+		return
+	}
+	e.Seq = len(b.events)
+	b.events = append(b.events, e)
+	close(b.sig)
+	b.sig = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// publishObs converts a telemetry event into a stream event.
+func (b *broker) publishObs(e obs.Event) {
+	switch {
+	case e.GP != nil:
+		b.publish(Event{Type: EventGP, GP: e.GP})
+	case e.Route != nil:
+		b.publish(Event{Type: EventRoute, Route: e.Route})
+	}
+}
+
+// closeStream marks the log complete; subscribers drain and stop.
+func (b *broker) closeStream() {
+	b.mu.Lock()
+	if !b.done {
+		b.done = true
+		close(b.sig)
+		b.sig = make(chan struct{})
+	}
+	b.mu.Unlock()
+}
+
+// since returns the events from index `from` on, whether the stream is
+// complete, and a channel that is closed on the next publish (or close).
+// The returned slice aliases the log and must not be mutated.
+func (b *broker) since(from int) (evs []Event, done bool, sig <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(b.events) {
+		evs = b.events[from:]
+	}
+	return evs, b.done, b.sig
+}
+
+// len returns the number of published events.
+func (b *broker) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}

@@ -1,0 +1,257 @@
+// Package serve is the placement-as-a-service layer: a job manager that
+// runs Bookshelf placement jobs from a bounded FIFO queue on a fixed-size
+// worker pool, and an HTTP JSON API (cmd/placerd) exposing the job
+// lifecycle — submit, status, cancel, live progress over Server-Sent
+// Events, and artifact download (versioned JSON run report, placed .pl,
+// congestion heatmap SVGs).
+//
+// The lifecycle state machine is:
+//
+//	queued ──► running ──► done
+//	   │           ├─────► failed    (error or per-job panic)
+//	   └───────────┴─────► canceled  (DELETE /jobs/{id} or timeout)
+//
+// Backpressure is explicit: a full queue rejects the submission
+// (ErrQueueFull → HTTP 429 + Retry-After) instead of buffering without
+// bound. Cancellation rides the context plumbing through core.Placer and
+// the router, so a canceled job returns within a fraction of one GP
+// round. Progress streaming taps internal/obs's OnEvent subscriber; every
+// per-round GP/route sample is fanned out to any number of SSE clients
+// with full replay for late joiners.
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Spec describes one placement job. Exactly one of Aux, Synth, Generate
+// and Files must select the design.
+type Spec struct {
+	// Aux is the path of a Bookshelf .aux on the server's filesystem.
+	// Only honored when the manager was configured with an allow
+	// directory, and only for paths inside it.
+	Aux string `json:"aux,omitempty"`
+	// Synth names a built-in synthetic benchmark (sb-a..sb-e, congested).
+	Synth string `json:"synth,omitempty"`
+	// Seed overrides the synthetic benchmark seed (Synth only).
+	Seed int64 `json:"seed,omitempty"`
+	// Generate is an inline synthetic-design configuration.
+	Generate *gen.Config `json:"generate,omitempty"`
+	// Files is an inline Bookshelf bundle: file name → contents. An .aux
+	// member is synthesized when the bundle does not include one.
+	Files map[string]string `json:"files,omitempty"`
+
+	// Config is the placer configuration (zero value = full flow).
+	Config core.Config `json:"config"`
+	// TimeoutMS bounds the job's run time; 0 means no per-job timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Heatmaps captures per-round congestion heatmaps for the heatmap
+	// endpoints (opt-in: memory-proportional to rounds × tiles).
+	Heatmaps bool `json:"heatmaps,omitempty"`
+	// Evaluate globally routes the final placement and scores RC/sHPWL
+	// into the report metrics, like cmd/placer -evaluate.
+	Evaluate bool `json:"evaluate,omitempty"`
+}
+
+// Job is one submitted placement run.
+type Job struct {
+	// ID is the server-assigned job identifier. Immutable.
+	ID string
+	// Spec is the submitted specification. Immutable.
+	Spec Spec
+
+	broker *broker
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    func() // non-nil while running
+	design    *db.Design
+	report    []byte
+	pl        []byte
+	heatmaps  []obs.Heatmap
+}
+
+// Status is the JSON view of a job's lifecycle.
+type Status struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Design    string     `json:"design,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// DurationMS is run time (running: so far; terminal: total).
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Events is the number of progress events published so far.
+	Events int `json:"events"`
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the failure/cancellation message ("" otherwise).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.ID,
+		State:     j.state,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+		Events:    j.broker.len(),
+	}
+	if j.design != nil {
+		st.Design = j.design.Name
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.DurationMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Report returns the final JSON run report (nil until terminal; canceled
+// jobs still carry a report with the canceled marker when the run got far
+// enough to assemble one).
+func (j *Job) Report() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// ResultPl returns the placed .pl bytes (nil until done).
+func (j *Job) ResultPl() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pl
+}
+
+// Heatmaps returns the captured congestion heatmaps (nil unless the spec
+// asked for them and the job completed).
+func (j *Job) Heatmaps() []obs.Heatmap {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.heatmaps
+}
+
+// Events exposes the job's progress stream: the events from seq `from`
+// on, whether the stream is complete, and a channel closed on the next
+// publish (see broker.since).
+func (j *Job) Events(from int) ([]Event, bool, <-chan struct{}) {
+	return j.broker.since(from)
+}
+
+// setRunning transitions queued → running, installing the cancel hook.
+// It returns false when the job is no longer queued (canceled while
+// waiting), in which case the worker must skip it.
+func (j *Job) setRunning(cancel func()) bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.broker.publish(Event{Type: EventState, State: StateRunning})
+	return true
+}
+
+// setArtifacts stores the run outputs (called before finish so a client
+// woken by the terminal event always sees them).
+func (j *Job) setArtifacts(report, pl []byte, heatmaps []obs.Heatmap) {
+	j.mu.Lock()
+	j.report = report
+	j.pl = pl
+	j.heatmaps = heatmaps
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, publishes the terminal event
+// and completes the progress stream. It returns false if the job was
+// already terminal.
+func (j *Job) finish(state State, errMsg string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+	j.broker.publish(Event{Type: EventState, State: state, Error: errMsg})
+	j.broker.closeStream()
+	return true
+}
+
+// requestCancel cancels the job: queued jobs transition to canceled
+// immediately, running jobs get their context canceled (the worker
+// finishes the transition). Terminal jobs are left untouched. The state
+// after the call is returned.
+func (j *Job) requestCancel() State {
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		j.mu.Unlock()
+		j.finish(StateCanceled, "canceled while queued")
+		return StateCanceled
+	case j.state == StateRunning && j.cancel != nil:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		return StateRunning
+	default:
+		st := j.state
+		j.mu.Unlock()
+		return st
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stats aggregates the operational counters /metrics exports.
+type stats struct {
+	running  atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+	latency  *histogram
+}
+
+func (s *stats) finish(state State, dur time.Duration) {
+	switch state {
+	case StateDone:
+		s.done.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	case StateCanceled:
+		s.canceled.Add(1)
+	}
+	s.latency.observe(dur.Seconds())
+}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// exposition shape (le-labeled upper bounds, +Inf implicit in count).
+type histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // one per bound; +Inf bucket is n
+	sum    float64
+	n      int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{
+		bounds: []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120},
+		counts: make([]int64, 10),
+	}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// writeMetrics renders the Prometheus text exposition for the manager.
+func (m *Manager) writeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP placerd_queue_depth Jobs waiting in the bounded FIFO queue.\n")
+	fmt.Fprintf(w, "# TYPE placerd_queue_depth gauge\n")
+	fmt.Fprintf(w, "placerd_queue_depth %d\n", m.QueueDepth())
+	fmt.Fprintf(w, "# HELP placerd_queue_capacity Queue capacity (submissions beyond it get 429).\n")
+	fmt.Fprintf(w, "# TYPE placerd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "placerd_queue_capacity %d\n", m.QueueCap())
+	fmt.Fprintf(w, "# HELP placerd_jobs_running Jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE placerd_jobs_running gauge\n")
+	fmt.Fprintf(w, "placerd_jobs_running %d\n", m.stats.running.Load())
+	fmt.Fprintf(w, "# HELP placerd_jobs_total Jobs finished, by terminal state.\n")
+	fmt.Fprintf(w, "# TYPE placerd_jobs_total counter\n")
+	fmt.Fprintf(w, "placerd_jobs_total{state=\"done\"} %d\n", m.stats.done.Load())
+	fmt.Fprintf(w, "placerd_jobs_total{state=\"failed\"} %d\n", m.stats.failed.Load())
+	fmt.Fprintf(w, "placerd_jobs_total{state=\"canceled\"} %d\n", m.stats.canceled.Load())
+
+	h := m.stats.latency
+	h.mu.Lock()
+	fmt.Fprintf(w, "# HELP placerd_job_duration_seconds Job wall-clock run time.\n")
+	fmt.Fprintf(w, "# TYPE placerd_job_duration_seconds histogram\n")
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "placerd_job_duration_seconds_bucket{le=\"%g\"} %d\n", b, h.counts[i])
+	}
+	fmt.Fprintf(w, "placerd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.n)
+	fmt.Fprintf(w, "placerd_job_duration_seconds_sum %g\n", h.sum)
+	fmt.Fprintf(w, "placerd_job_duration_seconds_count %d\n", h.n)
+	h.mu.Unlock()
+}

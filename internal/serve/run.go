@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bookshelf"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/route"
+)
+
+// placeJob is the default job body: it places the job's design with a
+// live-streaming telemetry recorder, optionally routes and scores the
+// result, and stores the artifacts (versioned JSON report, .pl bytes,
+// heatmaps). On cancellation it still assembles and stores the report —
+// with the canceled marker set — so clients always get a post-mortem of
+// how far the run got.
+func (m *Manager) placeJob(ctx context.Context, j *Job) error {
+	d := j.design
+	if d == nil {
+		return errors.New("serve: job has no design (internal error)")
+	}
+	rec := obs.New(obs.Config{
+		Logger:          m.opt.Logger.With("job", j.ID),
+		CaptureHeatmaps: j.Spec.Heatmaps,
+		OnEvent:         j.broker.publishObs,
+	})
+	cfg := j.Spec.Config
+	if cfg.Workers == 0 {
+		cfg.Workers = m.opt.Workers
+	}
+	cfg.Obs = rec
+	placer, err := core.New(cfg)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+
+	t0 := time.Now()
+	res, placeErr := placer.PlaceContext(ctx, d)
+	total := time.Since(t0)
+
+	row := metrics.Row{
+		Design: d.Name, Variant: "placerd",
+		HPWL: res.HPWLFinal, Overflow: res.Overflow,
+		Overlaps: res.Overlaps, FenceViol: res.FenceViolations,
+		GPTime: res.GPTime, TotalTime: total,
+	}
+	if placeErr == nil && j.Spec.Evaluate && d.Route != nil {
+		sc, err := route.EvaluateDesignCtx(ctx, d, route.RouterOptions{
+			Workers: cfg.Workers, Obs: rec, TraceLabel: "evaluate",
+		})
+		if err != nil {
+			placeErr = err
+		} else {
+			row.ScaledHPWL = sc.ScaledHPWL
+			row.RC = sc.RC
+			row.ACE = sc.ACE
+		}
+	}
+
+	rep := rec.BuildReport()
+	rep.Tool = "placerd"
+	rep.Design = obs.DescribeDesign(d)
+	rep.Config = cfg
+	rep.Metrics = &row
+	rep.Canceled = placeErr != nil &&
+		(errors.Is(placeErr, context.Canceled) || errors.Is(placeErr, context.DeadlineExceeded))
+	var repBuf bytes.Buffer
+	if err := json.NewEncoder(&repBuf).Encode(rep); err != nil {
+		return err
+	}
+
+	var pl []byte
+	if placeErr == nil {
+		var plBuf bytes.Buffer
+		if err := bookshelf.WritePl(&plBuf, d); err != nil {
+			return err
+		}
+		pl = plBuf.Bytes()
+	}
+	j.setArtifacts(repBuf.Bytes(), pl, rec.Heatmaps())
+	return placeErr
+}

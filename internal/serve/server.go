@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/viz"
+)
+
+// ServerOptions tunes the HTTP layer.
+type ServerOptions struct {
+	// MaxBodyBytes bounds submission bodies (default 32 MiB; inline
+	// Bookshelf bundles can be large).
+	MaxBodyBytes int64
+	// RetryAfterSec is the Retry-After hint on 429 responses (default 2).
+	RetryAfterSec int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.RetryAfterSec <= 0 {
+		o.RetryAfterSec = 2
+	}
+	return o
+}
+
+// Server is the placerd HTTP API over a Manager.
+//
+//	POST   /jobs                      submit (202; 429 when the queue is full)
+//	GET    /jobs                      list job statuses
+//	GET    /jobs/{id}                 one job's status
+//	DELETE /jobs/{id}                 cancel (202)
+//	GET    /jobs/{id}/events          SSE progress stream (?from=<seq> resumes)
+//	GET    /jobs/{id}/report          final JSON run report
+//	GET    /jobs/{id}/result.pl       placed .pl
+//	GET    /jobs/{id}/heatmaps        captured heatmap labels
+//	GET    /jobs/{id}/heatmaps/{label} one heatmap as SVG
+//	GET    /healthz                   liveness + queue gauges
+//	GET    /metrics                   Prometheus text metrics
+type Server struct {
+	m   *Manager
+	opt ServerOptions
+	mux *http.ServeMux
+}
+
+// NewServer wires the API routes over m.
+func NewServer(m *Manager, opt ServerOptions) *Server {
+	s := &Server{m: m, opt: opt.withDefaults(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /jobs/{id}/result.pl", s.handleResultPl)
+	s.mux.HandleFunc("GET /jobs/{id}/heatmaps", s.handleHeatmapList)
+	s.mux.HandleFunc("GET /jobs/{id}/heatmaps/{label}", s.handleHeatmap)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps manager errors onto HTTP semantics: client mistakes are
+// 400, a full queue is 429 with a Retry-After hint, drain is 503,
+// unknown jobs are 404, everything else is 500.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfterSec))
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownJob):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// submitResponse is the 202 body of a successful submission.
+type submitResponse struct {
+	Status
+	Links map[string]string `json:"links"`
+}
+
+func jobLinks(id string) map[string]string {
+	base := "/jobs/" + id
+	return map[string]string{
+		"self":   base,
+		"events": base + "/events",
+		"report": base + "/report",
+		"result": base + "/result.pl",
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+			return
+		}
+		s.writeErr(w, fmt.Errorf("%w: %w", ErrBadSpec, err))
+		return
+	}
+	j, err := s.m.Submit(spec)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{Status: j.Status(), Links: jobLinks(j.ID)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.m.List()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.m.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, submitResponse{Status: j.Status(), Links: jobLinks(j.ID)})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleEvents streams the job's progress log as Server-Sent Events:
+// full replay from ?from=<seq> (default 0), then live tail until the
+// job reaches a terminal state or the client disconnects. Each message
+// carries the event seq as SSE id, the type as SSE event name, and the
+// JSON payload as data.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			s.writeErr(w, fmt.Errorf("%w: bad from=%q", ErrBadSpec, q))
+			return
+		}
+		from = v
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	for {
+		evs, done, sig := j.Events(from)
+		for i := range evs {
+			data, err := json.Marshal(&evs[i])
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", evs[i].Seq, evs[i].Type, data)
+		}
+		from += len(evs)
+		fl.Flush()
+		if done {
+			return
+		}
+		select {
+		case <-sig:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	rep := j.Report()
+	if rep == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job %s has no report yet (state %s)", j.ID, j.State())})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(rep)
+}
+
+func (s *Server) handleResultPl(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	pl := j.ResultPl()
+	if pl == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job %s has no placement result (state %s)", j.ID, j.State())})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(pl)
+}
+
+func (s *Server) handleHeatmapList(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	heats := j.Heatmaps()
+	labels := make([]string, 0, len(heats))
+	for _, h := range heats {
+		labels = append(labels, h.Label)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"labels": labels})
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	label := r.PathValue("label")
+	for _, h := range j.Heatmaps() {
+		if h.Label == label {
+			w.Header().Set("Content-Type", "image/svg+xml")
+			if err := viz.HeatmapSVG(w, h.NX, h.NY, h.Cong, 800); err != nil {
+				s.m.opt.Logger.Warn("heatmap render failed", "job", j.ID, "label", label, "err", err)
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("job %s has no heatmap %q", j.ID, label)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.m.QueueDepth(),
+		"queue_cap":   s.m.QueueCap(),
+		"running":     s.m.Running(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writeMetrics(w)
+}
