@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router serve test-serve
+.PHONY: all build check vet fmt test race bench bench-obs bench-router serve test-serve test-store fuzz-smoke
 
 all: check
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/...
 
 # Run the placement job server locally (see DESIGN.md §9).
 serve:
@@ -34,6 +34,24 @@ serve:
 # placement job over HTTP and follows its SSE stream to completion.
 test-serve:
 	$(GO) test -race -v ./internal/serve/
+
+# The persistence stack alone, race-checked: snapshot codec, artifact
+# store, checkpoint/resume equivalence, and the placerd restart +
+# dedup e2e (see DESIGN.md §10).
+test-store:
+	$(GO) test -race -v ./internal/snap/ ./internal/store/
+	$(GO) test -race -run 'Checkpoint|Resume' ./internal/core/
+	$(GO) test -race -run 'TestRestart|TestDuplicate|TestStateDir' ./internal/serve/
+
+# FUZZTIME-bounded run of every Bookshelf reader fuzz target: malformed
+# input must produce *ParseError, never a panic. Go allows one -fuzz
+# pattern per invocation, hence the loop.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	@for t in FuzzReadAux FuzzReadNets FuzzReadScl FuzzReadRoute FuzzReadHier; do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -fuzz "^$$t$$" -fuzztime $(FUZZTIME) -run '^$$' ./internal/bookshelf/ || exit 1; \
+	done
 
 # Table-2 style placement benchmarks (see DESIGN.md).
 bench:

@@ -53,6 +53,7 @@ func run() error {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		report  = flag.String("report", "", "write a machine-readable JSON run report to this file")
 		asJSON  = flag.Bool("json", false, "also print the score row as JSON on stdout")
+		fprint  = flag.Bool("fingerprint", false, "print the design's canonical fingerprint (hex) and exit without scoring")
 		verbose = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
 		logLvl  = flag.String("log-level", "", "stderr log level: debug, info, warn or error (empty = logging off)")
 	)
@@ -106,6 +107,14 @@ func run() error {
 		if err := applyPl(d, *plPath); err != nil {
 			return err
 		}
+	}
+	if *fprint {
+		// The canonical identity of this placement problem: what placerd
+		// keys its artifact cache by. Printed alone so scripts can diff
+		// reformatted Bookshelf bundles without scoring them.
+		fp := d.Fingerprint()
+		fmt.Printf("%x  %s\n", fp, d.Name)
+		return nil
 	}
 	fmt.Println(d.ComputeStats())
 	overlaps, fenceViol := d.OverlapViolations(), d.FenceViolations()

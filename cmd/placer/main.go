@@ -11,6 +11,14 @@
 // multilevel, fences) so every baseline of the paper's evaluation is
 // reachable from the command line. The placed design is written back as
 // <name>.out.pl (and optionally a full Bookshelf bundle and SVG plots).
+//
+// Long runs can be made restartable: -checkpoint-dir writes a resumable
+// snapshot every -checkpoint-every λ rounds (and every routability
+// iteration), and -resume picks a killed run back up from such a
+// snapshot:
+//
+//	placer -synth sb-b -checkpoint-dir ck/           # killed mid-run
+//	placer -synth sb-b -resume ck/sb-b.snap          # continues to a legal result
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/route"
+	"repro/internal/snap"
 	"repro/internal/viz"
 )
 
@@ -62,6 +71,9 @@ func run() error {
 		svg       = flag.Bool("svg", false, "write placement and congestion SVGs")
 		rowFlip   = flag.Bool("row-flip", false, "flip alternate rows (FS) for power-rail sharing after placement")
 		evaluate  = flag.Bool("evaluate", true, "globally route and report RC / scaled HPWL")
+		ckDir     = flag.String("checkpoint-dir", "", "write resumable placement checkpoints (<design>.snap) into this directory")
+		ckEvery   = flag.Int("checkpoint-every", 1, "lambda rounds between checkpoints (with -checkpoint-dir)")
+		resume    = flag.String("resume", "", "resume from a checkpoint file instead of placing from scratch")
 		workers   = flag.Int("workers", 0, "worker count for parallel kernels (0 = auto, honors REPRO_WORKERS)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a partial -report is still written")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -131,12 +143,34 @@ func run() error {
 		RoutabilityIters:   *routeIter,
 		Obs:                rec,
 	}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			return err
+		}
+		ckPath := filepath.Join(*ckDir, d.Name+".snap")
+		cfg.CheckpointEvery = *ckEvery
+		cfg.Checkpoint = func(st *snap.State) {
+			if err := snap.WriteFile(ckPath, st); err != nil {
+				fmt.Fprintln(os.Stderr, "placer: checkpoint:", err)
+			}
+		}
+	}
 	placer, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
 	t0 := time.Now()
-	res, err := placer.PlaceContext(ctx, d)
+	var res core.Result
+	if *resume != "" {
+		st, rerr := snap.ReadFile(*resume)
+		if rerr != nil {
+			return fmt.Errorf("reading checkpoint %s: %w", *resume, rerr)
+		}
+		fmt.Printf("resume:    %s (stage %s, round %d)\n", *resume, st.Stage, st.Round)
+		res, err = placer.PlaceFromCheckpoint(ctx, d, st)
+	} else {
+		res, err = placer.PlaceContext(ctx, d)
+	}
 	if err != nil {
 		return flushCanceledReport(rec, *report, cfg, d, err)
 	}

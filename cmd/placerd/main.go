@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	placerd [-addr :8080] [-queue 16] [-jobs 1] [-allow-dir bench/]
+//	placerd [-addr :8080] [-queue 16] [-jobs 1] [-allow-dir bench/] [-state-dir state/]
 //
 // Submit a job and follow it:
 //
@@ -16,6 +16,13 @@
 // SIGINT/SIGTERM triggers a graceful drain: in-flight jobs get -drain to
 // finish, then are canceled through their contexts (observed within one
 // GP round or reroute batch).
+//
+// With -state-dir the daemon is durable: jobs are journaled (spec,
+// progress events, placement checkpoints, artifacts), a restarted daemon
+// recovers them — re-enqueueing interrupted jobs and resuming each from
+// its last checkpoint — and completed results are cached in a
+// content-addressed store so an identical resubmission is answered
+// instantly without running the placer.
 package main
 
 import (
@@ -47,6 +54,9 @@ func run() error {
 		jobs     = flag.Int("jobs", 1, "jobs run concurrently")
 		workers  = flag.Int("workers", 0, "per-job kernel worker count (0 = auto, honors REPRO_WORKERS)")
 		allowDir = flag.String("allow-dir", "", "directory tree .aux path jobs may reference (empty = path jobs disabled)")
+		stateDir = flag.String("state-dir", "", "durable state directory: job journal, checkpoints and artifact cache (empty = in-memory only)")
+		storeMax = flag.Int64("store-max-bytes", 0, "artifact cache size bound in bytes (0 = 256 MiB, negative = unbounded; needs -state-dir)")
+		ckEvery  = flag.Int("checkpoint-every", 1, "lambda rounds between job checkpoints (needs -state-dir)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before in-flight jobs are canceled")
 		maxBody  = flag.Int64("max-body", 32<<20, "submission body size limit in bytes")
 		verbose  = flag.Bool("verbose", false, "debug logging (shorthand for -log-level debug)")
@@ -63,13 +73,19 @@ func run() error {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
 
-	mgr := serve.NewManager(serve.Options{
-		QueueSize: *queue,
-		Jobs:      *jobs,
-		Workers:   *workers,
-		AllowDir:  *allowDir,
-		Logger:    logger,
+	mgr, err := serve.NewManager(serve.Options{
+		QueueSize:       *queue,
+		Jobs:            *jobs,
+		Workers:         *workers,
+		AllowDir:        *allowDir,
+		StateDir:        *stateDir,
+		StoreMaxBytes:   *storeMax,
+		CheckpointEvery: *ckEvery,
+		Logger:          logger,
 	})
+	if err != nil {
+		return err
+	}
 	api := serve.NewServer(mgr, serve.ServerOptions{MaxBodyBytes: *maxBody})
 	srv := &http.Server{Addr: *addr, Handler: api}
 

@@ -136,6 +136,23 @@ func parseInt(sc *scanner, tok string) (int, error) {
 	return v, nil
 }
 
+// parseFloat1 parses the first value of a "Key : value" line, failing with
+// a ParseError — instead of an index panic — when the value list is empty.
+func parseFloat1(sc *scanner, key string, vals []string) (float64, error) {
+	if len(vals) == 0 {
+		return 0, sc.errf("%s needs a value", key)
+	}
+	return parseFloat(sc, vals[0])
+}
+
+// parseInt1 is parseFloat1 for integers.
+func parseInt1(sc *scanner, key string, vals []string) (int, error) {
+	if len(vals) == 0 {
+		return 0, sc.errf("%s needs a value", key)
+	}
+	return parseInt(sc, vals[0])
+}
+
 // expectHeader consumes the "UCLA <kind> 1.0" (or "<kind> 1.0") header line.
 func (sc *scanner) expectHeader(kind string) error {
 	if !sc.next() {

@@ -1,0 +1,86 @@
+package bookshelf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintRoundTrip pins the core property of the design fingerprint:
+// a Bookshelf write/read cycle preserves it, so the content-addressed
+// artifact store recognizes a re-exported design as the same problem.
+func TestFingerprintRoundTrip(t *testing.T) {
+	d := sample()
+	want := d.Fingerprint()
+
+	aux, err := WriteDesign(d, t.TempDir())
+	if err != nil {
+		t.Fatalf("WriteDesign: %v", err)
+	}
+	d1, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatalf("ReadDesign: %v", err)
+	}
+	if got := d1.Fingerprint(); got != want {
+		t.Fatalf("fingerprint changed across write/read:\n in-memory %x\n reloaded  %x", want, got)
+	}
+
+	// Second generation: the round trip is a fixpoint.
+	aux2, err := WriteDesign(d1, t.TempDir())
+	if err != nil {
+		t.Fatalf("WriteDesign(gen2): %v", err)
+	}
+	d2, err := ReadDesign(aux2)
+	if err != nil {
+		t.Fatalf("ReadDesign(gen2): %v", err)
+	}
+	if got := d2.Fingerprint(); got != want {
+		t.Fatalf("fingerprint drifted on second round trip: %x != %x", got, want)
+	}
+}
+
+// TestFingerprintIgnoresFormatting reformats every file of a written bundle
+// — injected comments, tabs for spaces, trailing whitespace — and checks the
+// reloaded design fingerprints identically. Formatting is not content.
+func TestFingerprintIgnoresFormatting(t *testing.T) {
+	dir := t.TempDir()
+	aux, err := WriteDesign(sample(), dir)
+	if err != nil {
+		t.Fatalf("WriteDesign: %v", err)
+	}
+	d1, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatalf("ReadDesign: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for i, ln := range strings.Split(string(data), "\n") {
+			out = append(out, strings.ReplaceAll(ln, " ", "\t")+"  ")
+			if i == 0 {
+				out = append(out, "# injected by TestFingerprintIgnoresFormatting")
+			}
+		}
+		if err := os.WriteFile(p, []byte(strings.Join(out, "\n")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d2, err := ReadDesign(aux)
+	if err != nil {
+		t.Fatalf("ReadDesign(reformatted): %v", err)
+	}
+	if d1.Fingerprint() != d2.Fingerprint() {
+		t.Fatal("reformatting the Bookshelf bundle changed the fingerprint")
+	}
+}

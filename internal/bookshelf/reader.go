@@ -316,19 +316,19 @@ func (r *reader) readScl(f io.Reader, name string) error {
 		case row == nil:
 			continue
 		case hasColon && strings.EqualFold(key, "Coordinate"):
-			v, err := parseFloat(sc, vals[0])
+			v, err := parseFloat1(sc, key, vals)
 			if err != nil {
 				return err
 			}
 			row.Y = v
 		case hasColon && strings.EqualFold(key, "Height"):
-			v, err := parseFloat(sc, vals[0])
+			v, err := parseFloat1(sc, key, vals)
 			if err != nil {
 				return err
 			}
 			row.Height = v
 		case hasColon && (strings.EqualFold(key, "Sitewidth") || strings.EqualFold(key, "Sitespacing")):
-			v, err := parseFloat(sc, vals[0])
+			v, err := parseFloat1(sc, key, vals)
 			if err != nil {
 				return err
 			}
@@ -337,7 +337,7 @@ func (r *reader) readScl(f io.Reader, name string) error {
 			}
 		case hasColon && strings.EqualFold(key, "SubrowOrigin"):
 			// "SubrowOrigin : x NumSites : n"
-			v, err := parseFloat(sc, vals[0])
+			v, err := parseFloat1(sc, key, vals)
 			if err != nil {
 				return err
 			}
@@ -454,11 +454,11 @@ func (r *reader) readRoute(f io.Reader, name string) error {
 				return err
 			}
 		case strings.EqualFold(key, "BlockagePorosity"):
-			if ri.BlockagePorosity, err = parseFloat(sc, vals[0]); err != nil {
+			if ri.BlockagePorosity, err = parseFloat1(sc, key, vals); err != nil {
 				return err
 			}
 		case strings.EqualFold(key, "NumNiTerminals"):
-			n, err := parseInt(sc, vals[0])
+			n, err := parseInt1(sc, key, vals)
 			if err != nil {
 				return err
 			}
@@ -472,7 +472,7 @@ func (r *reader) readRoute(f io.Reader, name string) error {
 				}
 			}
 		case strings.EqualFold(key, "NumBlockageNodes"):
-			n, err := parseInt(sc, vals[0])
+			n, err := parseInt1(sc, key, vals)
 			if err != nil {
 				return err
 			}
@@ -595,7 +595,7 @@ func (r *reader) readHier(f io.Reader, name string) error {
 		if !ok || !strings.EqualFold(key, "NumCells") {
 			return sc.errf("expected NumCells for module %q", mname)
 		}
-		nc, err := parseInt(sc, vals[0])
+		nc, err := parseInt1(sc, key, vals)
 		if err != nil {
 			return err
 		}

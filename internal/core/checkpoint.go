@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/db"
+	"repro/internal/route"
+	"repro/internal/snap"
+)
+
+// checkpointer captures flow state into snap.State values and hands them
+// to the Config.Checkpoint hook. The design fingerprint is computed once
+// per run (it hashes the whole netlist) and stamped on every snapshot so
+// a resume can verify it is being fed the design it was taken from.
+type checkpointer struct {
+	d   *db.Design
+	cfg Config
+	fp  [32]byte
+}
+
+func newCheckpointer(d *db.Design, cfg Config) *checkpointer {
+	return &checkpointer{d: d, cfg: cfg, fp: d.Fingerprint()}
+}
+
+// gpHook builds the levelSolver round observer for finest-level global
+// placement: every CheckpointEvery-th round it publishes the in-flight
+// solver positions to the design and emits a StageGP snapshot.
+// roundBase offsets the recorded round count on resumed runs, so a
+// checkpoint of a resumed run still counts rounds from the original start.
+func (ck *checkpointer) gpHook(prob *cluster.Problem, pm *problemMap, roundBase int) func(int, float64, float64, []float64, []float64) {
+	every := ck.cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	return func(round int, lambda, mu float64, x, y []float64) {
+		done := round + 1
+		if done%every != 0 {
+			return
+		}
+		copy(prob.X, x)
+		copy(prob.Y, y)
+		writeBack(ck.d, prob, pm)
+		ck.emit(snap.StageGP, 0, roundBase+done, 0, lambda, mu, nil)
+	}
+}
+
+// emit snapshots the design's current cell state and invokes the hook.
+func (ck *checkpointer) emit(stage snap.Stage, level, round, routIter int, lambda, mu float64, grid *route.Grid) {
+	d := ck.d
+	n := len(d.Cells)
+	st := &snap.State{
+		Design:      d.Name,
+		Fingerprint: ck.fp,
+		Stage:       stage,
+		Level:       level,
+		Round:       round,
+		RoutIter:    routIter,
+		Lambda:      lambda,
+		Mu:          mu,
+		X:           make([]float64, n),
+		Y:           make([]float64, n),
+		Orient:      make([]uint8, n),
+		Inflate:     make([]float64, n),
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		st.X[i] = c.Pos.X
+		st.Y[i] = c.Pos.Y
+		st.Orient[i] = uint8(c.Orient)
+		if c.Inflate > 1 {
+			st.Inflate[i] = c.Inflate
+		} else {
+			st.Inflate[i] = 1
+		}
+	}
+	if grid != nil {
+		ds := grid.SnapshotDemand()
+		st.Route = &snap.RouteState{
+			NX: ds.NX, NY: ds.NY,
+			HDem: ds.HDem, VDem: ds.VDem,
+			HHist: ds.HHist, VHist: ds.VHist,
+		}
+	}
+	ck.cfg.Checkpoint(st)
+}

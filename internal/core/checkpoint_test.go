@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/route"
+	"repro/internal/snap"
+)
+
+// resumeCfg is the placer configuration for the kill/resume tests: the
+// full default flow with a fixed worker count so both runs are
+// deterministic. Checkpoints are only emitted at the finest level, so the
+// resumed (single-level) flow traverses the same level-0 machinery the
+// uninterrupted run does.
+func resumeCfg() Config {
+	return Config{Workers: 1}
+}
+
+// resumeGenCfg generates a moderately congested design that the full flow
+// legalizes cleanly: tight enough routing capacity that the routability
+// loop actually inflates, loose enough placement density that overlaps
+// resolve to zero (checked by the tests).
+func resumeGenCfg(seed int64) gen.Config {
+	return gen.Config{
+		Name: "ck", Seed: seed, NumStdCells: 500,
+		NumFixedMacros: 2, NumMovableMacros: 1, MacroSizeRows: 4,
+		NumModules: 3, NumFences: 2, NumTerminals: 24,
+		TargetUtil: 0.58, TrackCapacity: 12,
+	}
+}
+
+// TestCheckpointResumeEquivalence is the acceptance test for the
+// persistence subsystem: a run checkpointed every λ round and killed
+// mid-GP, then resumed from its last checkpoint on a freshly loaded
+// design, must produce a legal placement whose sHPWL is within 1% of the
+// uninterrupted run's.
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	genCfg := resumeGenCfg(3)
+
+	// Uninterrupted reference run.
+	ref := gen.MustGenerate(genCfg)
+	refRes, err := MustNew(resumeCfg()).Place(ref)
+	if err != nil {
+		t.Fatalf("reference Place: %v", err)
+	}
+	refM, err := route.EvaluateDesign(ref, route.RouterOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("reference evaluate: %v", err)
+	}
+
+	// Checkpointed run, killed deterministically mid-GP: the context is
+	// canceled inside the checkpoint hook itself (same goroutine), so the
+	// solver stops at the following λ round on every execution.
+	const killAfter = 5
+	var blobs [][]byte
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := resumeCfg()
+	cfg.Checkpoint = func(st *snap.State) {
+		blobs = append(blobs, snap.Encode(st))
+		if st.Stage == snap.StageGP && st.Round >= killAfter {
+			cancel()
+		}
+	}
+	killed := gen.MustGenerate(genCfg)
+	if _, err := MustNew(cfg).PlaceContext(ctx, killed); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	if len(blobs) < killAfter {
+		t.Fatalf("only %d checkpoints before the kill", len(blobs))
+	}
+
+	// Resume on a fresh design (as a restarted process would reload it)
+	// from the last checkpoint, decoded through the real codec.
+	last, err := snap.Decode(blobs[len(blobs)-1])
+	if err != nil {
+		t.Fatalf("decode last checkpoint: %v", err)
+	}
+	if last.Stage != snap.StageGP {
+		t.Fatalf("last checkpoint stage = %v, want gp", last.Stage)
+	}
+	resumed := gen.MustGenerate(genCfg)
+	res, err := MustNew(resumeCfg()).PlaceFromCheckpoint(context.Background(), resumed, last)
+	if err != nil {
+		t.Fatalf("PlaceFromCheckpoint: %v", err)
+	}
+	if res.Overlaps != 0 || res.OutOfDie != 0 || res.FenceViolations != 0 {
+		t.Errorf("resumed placement not legal: overlaps=%d out=%d fence=%d",
+			res.Overlaps, res.OutOfDie, res.FenceViolations)
+	}
+	if res.LambdaRounds <= last.Round {
+		t.Errorf("resumed run reports %d λ rounds, checkpoint already had %d", res.LambdaRounds, last.Round)
+	}
+
+	resM, err := route.EvaluateDesign(resumed, route.RouterOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("resumed evaluate: %v", err)
+	}
+	rel := math.Abs(resM.ScaledHPWL-refM.ScaledHPWL) / refM.ScaledHPWL
+	t.Logf("sHPWL uninterrupted=%.6g resumed=%.6g (Δ %.3f%%)",
+		refM.ScaledHPWL, resM.ScaledHPWL, 100*rel)
+	if rel > 0.01 {
+		t.Errorf("resumed sHPWL %.6g deviates %.2f%% from uninterrupted %.6g (budget 1%%)",
+			resM.ScaledHPWL, 100*rel, refM.ScaledHPWL)
+	}
+	if refRes.Overlaps != 0 {
+		t.Errorf("reference run not legal: %d overlaps", refRes.Overlaps)
+	}
+}
+
+// TestCheckpointRoutabilityResume kills the run between routability
+// iterations and resumes from the StageRoutability snapshot, which must
+// restore the router demand grid and still finish legally.
+func TestCheckpointRoutabilityResume(t *testing.T) {
+	genCfg := resumeGenCfg(7)
+
+	var routBlob []byte
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := resumeCfg()
+	cfg.Checkpoint = func(st *snap.State) {
+		if st.Stage == snap.StageRoutability {
+			routBlob = snap.Encode(st)
+			cancel()
+		}
+	}
+	killed := gen.MustGenerate(genCfg)
+	_, err := MustNew(cfg).PlaceContext(ctx, killed)
+	if routBlob == nil {
+		t.Skipf("design converged without inflation (no routability checkpoint); err=%v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+
+	st, err := snap.Decode(routBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Route == nil {
+		t.Fatal("routability checkpoint carries no demand grid")
+	}
+	if st.RoutIter < 1 {
+		t.Fatalf("RoutIter = %d, want >= 1", st.RoutIter)
+	}
+	anyInflated := false
+	for _, r := range st.Inflate {
+		if r > 1 {
+			anyInflated = true
+			break
+		}
+	}
+	if !anyInflated {
+		t.Error("routability checkpoint carries no inflation")
+	}
+
+	resumed := gen.MustGenerate(genCfg)
+	res, err := MustNew(resumeCfg()).PlaceFromCheckpoint(context.Background(), resumed, st)
+	if err != nil {
+		t.Fatalf("PlaceFromCheckpoint: %v", err)
+	}
+	if res.Overlaps != 0 || res.OutOfDie != 0 || res.FenceViolations != 0 {
+		t.Errorf("resumed placement not legal: overlaps=%d out=%d fence=%d",
+			res.Overlaps, res.OutOfDie, res.FenceViolations)
+	}
+	if res.HPWLFinal <= 0 {
+		t.Error("no final HPWL")
+	}
+}
+
+func TestPlaceFromCheckpointValidation(t *testing.T) {
+	d := gen.MustGenerate(smallCfg())
+	pl := MustNew(resumeCfg())
+	ctx := context.Background()
+
+	if _, err := pl.PlaceFromCheckpoint(ctx, d, nil); err == nil {
+		t.Error("nil checkpoint accepted")
+	}
+
+	// Wrong cell count.
+	st := &snap.State{Stage: snap.StageGP, X: []float64{1}, Y: []float64{1},
+		Orient: []uint8{0}, Inflate: []float64{1}}
+	if _, err := pl.PlaceFromCheckpoint(ctx, d, st); err == nil {
+		t.Error("cell-count mismatch accepted")
+	}
+
+	// Right count, wrong fingerprint.
+	n := len(d.Cells)
+	st = &snap.State{Stage: snap.StageGP,
+		X: make([]float64, n), Y: make([]float64, n),
+		Orient: make([]uint8, n), Inflate: make([]float64, n)}
+	st.Fingerprint[0] = 0xde
+	if _, err := pl.PlaceFromCheckpoint(ctx, d, st); err == nil {
+		t.Error("fingerprint mismatch accepted")
+	}
+
+	// Unknown stage.
+	st.Fingerprint = d.Fingerprint()
+	st.Stage = 99
+	if _, err := pl.PlaceFromCheckpoint(ctx, d, st); err == nil {
+		t.Error("unknown stage accepted")
+	}
+}

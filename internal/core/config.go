@@ -25,6 +25,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/legal"
 	"repro/internal/obs"
+	"repro/internal/snap"
 )
 
 // Config selects the placer variant. The zero value is the full
@@ -118,6 +119,20 @@ type Config struct {
 	// recording never perturbs results — placement and routing output is
 	// byte-identical with Obs on or off.
 	Obs *obs.Recorder `json:"-"`
+
+	// Checkpoint, when non-nil, receives flow-state snapshots the run can
+	// later be resumed from with PlaceFromCheckpoint: after every
+	// CheckpointEvery-th λ round of finest-level global placement and
+	// after every routability iteration. The hook runs synchronously on
+	// the placement goroutine and owns the state it receives; typical
+	// implementations hand it to snap.WriteFile. Hook failures are the
+	// hook's problem — the placer never aborts a run over checkpointing.
+	// Like Obs, the hook never perturbs results. Excluded from the report
+	// schema (json) on purpose.
+	Checkpoint func(*snap.State) `json:"-"`
+	// CheckpointEvery is the λ-round interval between GP checkpoints
+	// (default 1: every round). Ignored when Checkpoint is nil.
+	CheckpointEvery int `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

@@ -62,6 +62,10 @@ type levelSolver struct {
 	span  *obs.Span
 	level int
 	phase string
+	// onRound, when non-nil, observes the end of every λ round with the
+	// weights used that round and the current packed positions (valid only
+	// during the call). The placer's checkpoint hook hangs off it.
+	onRound func(round int, lambda, mu float64, x, y []float64)
 	// scratch gradient buffers
 	gdx, gdy []float64
 	gfx, gfy []float64
@@ -429,6 +433,14 @@ func (s *levelSolver) solve(ctx context.Context, trace *Trace) gpStats {
 			if s.mu == 0 {
 				s.mu = s.lambda
 			}
+		}
+		// The round observer fires after escalation on purpose: a
+		// checkpoint must record the weights the NEXT round would use, so
+		// a resumed run continues the λ schedule instead of replaying one
+		// doubling behind it. Converged rounds break above without a
+		// checkpoint — the run finishes anyway.
+		if s.onRound != nil {
+			s.onRound(round, s.lambda, s.mu, v[:n], v[n:])
 		}
 	}
 	copy(s.p.X, v[:n])

@@ -13,6 +13,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/legal"
 	"repro/internal/route"
+	"repro/internal/snap"
 )
 
 // Placer runs the full placement flow for one configuration.
@@ -105,6 +106,10 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 		hier = cluster.Build(prob, cluster.Options{MinObjs: cfg.ClusterMinObjs, Obs: rec})
 	}
 	res.Levels = len(hier.Levels)
+	var ck *checkpointer
+	if cfg.Checkpoint != nil {
+		ck = newCheckpointer(d, cfg)
+	}
 	gpSp := rec.StartSpan("gp")
 	var lastLambda, lastMu float64
 	for l := len(hier.Levels) - 1; l >= 0; l-- {
@@ -116,6 +121,12 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 		s.rec = rec
 		s.level = l
 		s.span = gpSp.StartSpanf("level-%d", l)
+		if ck != nil && l == 0 {
+			// Checkpoints are only meaningful at the finest level, where
+			// problem objects are real cells (coarse-level cluster centers
+			// cannot seed a resumed flow).
+			s.onRound = ck.gpHook(prob, pm, 0)
+		}
 		st := s.solve(ctx, trace)
 		if s.span != nil {
 			s.span.Add("lambda_rounds", int64(st.LambdaRounds))
@@ -148,7 +159,7 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 	var routedGrid *route.Grid
 	if !cfg.DisableRoutability && d.Route != nil {
 		t1 := time.Now()
-		g, err := pl.routabilityLoop(ctx, d, prob, pm, fixed, target, lastLambda, lastMu, &res)
+		g, err := pl.routabilityLoop(ctx, d, prob, pm, fixed, target, lastLambda, lastMu, &res, ck, nil, 0)
 		if err != nil {
 			return res, err
 		}
@@ -156,8 +167,18 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 		res.RouteOptTime = time.Since(t1)
 		res.HPWLGlobal = d.HPWL()
 	}
+	return res, pl.finish(ctx, d, routedGrid, &res)
+}
+
+// finish is the back half of the flow shared by PlaceContext and
+// PlaceFromCheckpoint: macro orientation, legalization, detailed placement
+// and the final quality checks. routedGrid, when non-nil, supplies the
+// congestion map for routability-aware detailed placement.
+func (pl *Placer) finish(ctx context.Context, d *db.Design, routedGrid *route.Grid, res *Result) error {
+	cfg := pl.cfg
+	rec := cfg.Obs
 	if err := ctx.Err(); err != nil {
-		return res, canceled("routability", err)
+		return canceled("routability", err)
 	}
 
 	// ---- Macro orientation ------------------------------------------
@@ -173,7 +194,7 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 	legal.LegalizeMacros(d)
 	lres, err := legal.LegalizeCells(d)
 	if err != nil {
-		return res, err
+		return err
 	}
 	if legSp != nil {
 		legSp.Add("fallbacks", int64(lres.Fallbacks))
@@ -184,7 +205,7 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 	res.HPWLLegal = d.HPWL()
 	rec.Log().Debug("legalization done", "fallbacks", lres.Fallbacks, "hpwl", res.HPWLLegal)
 	if err := ctx.Err(); err != nil {
-		return res, canceled("legalization", err)
+		return canceled("legalization", err)
 	}
 
 	// ---- Detailed placement ------------------------------------------
@@ -207,19 +228,24 @@ func (pl *Placer) PlaceContext(ctx context.Context, d *db.Design) (Result, error
 	res.Overlaps = d.OverlapViolations()
 	res.FenceViolations = d.FenceViolations()
 	res.OutOfDie = d.OutOfDie()
-	return res, nil
+	return nil
 }
 
 // routabilityLoop runs estimate → inflate → respread rounds on the level-0
 // problem, updating design positions after each round. Cancellation of
 // ctx aborts between (and inside, at batch granularity) routing calls and
-// respread rounds.
-func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *cluster.Problem, pm *problemMap, fixed []geom.Rect, target float64, lastLambda, lastMu float64, res *Result) (*route.Grid, error) {
+// respread rounds. ck, when non-nil, checkpoints after every iteration.
+// grid, when non-nil, is a pre-built (possibly demand-restored) routing
+// grid; startIter skips already-completed iterations on resume.
+func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *cluster.Problem, pm *problemMap, fixed []geom.Rect, target float64, lastLambda, lastMu float64, res *Result, ck *checkpointer, grid *route.Grid, startIter int) (*route.Grid, error) {
 	cfg := pl.cfg
 	rec := cfg.Obs
-	grid, err := route.NewGrid(d)
-	if err != nil {
-		return nil, err
+	if grid == nil {
+		var err error
+		grid, err = route.NewGrid(d)
+		if err != nil {
+			return nil, err
+		}
 	}
 	loopSp := rec.StartSpan("routability")
 	// Inflation budget: inflated movable area must stay within the
@@ -246,7 +272,7 @@ func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *clust
 		rc := route.RC(grid.ACEProfile())
 		return route.ScaledHPWL(d.HPWL(), rc)
 	}
-	for iter := 0; iter < cfg.RoutabilityIters; iter++ {
+	for iter := startIter; iter < cfg.RoutabilityIters; iter++ {
 		iterSp := loopSp.StartSpanf("iter-%d", iter)
 		if rec.Enabled() {
 			router.SetTraceContext(iterSp, fmt.Sprintf("routability-%d", iter))
@@ -362,6 +388,9 @@ func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *clust
 		if err := ctx.Err(); err != nil {
 			loopSp.End()
 			return nil, canceled("routability", err)
+		}
+		if ck != nil {
+			ck.emit(snap.StageRoutability, 0, res.LambdaRounds, iter+1, lastLambda, lastMu, grid)
 		}
 		if d.HPWL() > hpwlBudget {
 			break

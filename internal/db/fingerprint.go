@@ -1,0 +1,193 @@
+package db
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// fingerprintVersion is bumped whenever the canonical encoding below
+// changes, so fingerprints from different schema generations never collide.
+const fingerprintVersion = 1
+
+// Fingerprint returns a canonical SHA-256 over the design's semantic
+// content: die, rows, cells, pins, nets, fence regions, the module
+// hierarchy and the routing grid. It is stable across input-file
+// formatting (whitespace, comments, net naming, float rendering) and
+// across a Bookshelf write/read round trip:
+//
+//   - net names are excluded (readers synthesize them when absent) and a
+//     net weight of 0 hashes as 1, matching HPWL semantics and the .wts
+//     writer;
+//   - the cell kind is re-derived the way the Bookshelf reader would
+//     (fixed cells with a degenerate dimension are terminals, other fixed
+//     cells are macros, movable cells taller than the row are macros),
+//     because the format itself cannot distinguish a fixed macro from a
+//     terminal with area;
+//   - the effective fence region (CellRegion: own assignment or nearest
+//     enclosing module's) is hashed instead of the raw per-cell field,
+//     since only module fences survive a round trip.
+//
+// Placement state that the placer mutates but that is still part of the
+// problem input — positions, orientations, Fixed flags — is included.
+// Routability inflation ratios are derived state and excluded.
+//
+// The fingerprint is the design half of the content-addressed store key
+// (see internal/store): two inputs with equal fingerprints describe the
+// same placement problem.
+func (d *Design) Fingerprint() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) {
+		// Canonicalize negative zero so -0.0 and 0.0 hash identically.
+		if v == 0 {
+			v = 0
+		}
+		u64(math.Float64bits(v))
+	}
+	i64 := func(v int) { u64(uint64(int64(v))) }
+	str := func(s string) {
+		i64(len(s))
+		h.Write([]byte(s))
+	}
+
+	str("repro/db design-fingerprint")
+	i64(fingerprintVersion)
+
+	f64(d.Die.Lo.X)
+	f64(d.Die.Lo.Y)
+	f64(d.Die.Hi.X)
+	f64(d.Die.Hi.Y)
+
+	i64(len(d.Rows))
+	for i := range d.Rows {
+		r := &d.Rows[i]
+		f64(r.Y)
+		f64(r.Height)
+		f64(r.X)
+		f64(r.SiteWidth)
+		i64(r.NumSites)
+	}
+
+	rowH := d.RowHeight()
+	i64(len(d.Cells))
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		str(c.Name)
+		i64(int(canonicalKind(c, rowH)))
+		if c.Fixed {
+			i64(1)
+		} else {
+			i64(0)
+		}
+		f64(c.BaseW)
+		f64(c.BaseH)
+		f64(c.Pos.X)
+		f64(c.Pos.Y)
+		i64(int(c.Orient))
+		i64(d.CellRegion(i))
+		i64(c.Module)
+	}
+
+	i64(len(d.Nets))
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		w := n.Weight
+		if w == 0 {
+			w = 1
+		}
+		f64(w)
+		i64(len(n.Pins))
+		for _, p := range n.Pins {
+			pin := &d.Pins[p]
+			i64(pin.Cell)
+			f64(pin.Offset.X)
+			f64(pin.Offset.Y)
+		}
+	}
+
+	i64(len(d.Regions))
+	for i := range d.Regions {
+		rg := &d.Regions[i]
+		str(rg.Name)
+		i64(len(rg.Rects))
+		for _, r := range rg.Rects {
+			f64(r.Lo.X)
+			f64(r.Lo.Y)
+			f64(r.Hi.X)
+			f64(r.Hi.Y)
+		}
+	}
+
+	i64(len(d.Modules))
+	for i := range d.Modules {
+		m := &d.Modules[i]
+		str(m.Name)
+		i64(m.Parent)
+		i64(m.Region)
+		i64(len(m.Cells))
+		for _, c := range m.Cells {
+			i64(c)
+		}
+	}
+
+	hashRoute(f64, i64, d.Route)
+
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// canonicalKind maps a cell to the kind the Bookshelf reader would assign
+// after a write/read round trip, so designs that differ only in
+// unrepresentable kind distinctions fingerprint identically.
+func canonicalKind(c *Cell, rowH float64) CellKind {
+	if c.Fixed || c.Kind == Terminal {
+		if c.BaseW == 0 || c.BaseH == 0 {
+			return Terminal
+		}
+		return Macro
+	}
+	if rowH > 0 && c.BaseH > rowH {
+		return Macro
+	}
+	return StdCell
+}
+
+func hashRoute(f64 func(float64), i64 func(int), r *RouteInfo) {
+	if r == nil {
+		i64(0)
+		return
+	}
+	i64(1)
+	i64(r.GridX)
+	i64(r.GridY)
+	i64(r.Layers)
+	for _, s := range [][]float64{r.VertCap, r.HorizCap, r.MinWidth, r.MinSpacing, r.ViaSpacing} {
+		i64(len(s))
+		for _, v := range s {
+			f64(v)
+		}
+	}
+	f64(r.Origin.X)
+	f64(r.Origin.Y)
+	f64(r.TileW)
+	f64(r.TileH)
+	f64(r.BlockagePorosity)
+	i64(len(r.NiTerminals))
+	for _, t := range r.NiTerminals {
+		i64(t)
+	}
+	i64(len(r.Blockages))
+	for _, b := range r.Blockages {
+		i64(b.Cell)
+		i64(len(b.Layers))
+		for _, l := range b.Layers {
+			i64(l)
+		}
+	}
+}

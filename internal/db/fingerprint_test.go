@@ -1,0 +1,85 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFingerprintStableAcrossClone(t *testing.T) {
+	d := tiny(t)
+	d.Cells[0].Pos = geom.Point{X: 12, Y: 4}
+	fp := d.Fingerprint()
+	if fp2 := d.Fingerprint(); fp2 != fp {
+		t.Fatal("fingerprint not deterministic on the same design")
+	}
+	if fpc := d.Clone().Fingerprint(); fpc != fp {
+		t.Fatal("clone fingerprints differently")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := tiny(t).Fingerprint()
+	perturb := []struct {
+		name string
+		mod  func(d *Design)
+	}{
+		{"position", func(d *Design) { d.Cells[0].Pos.X += 1 }},
+		{"orientation", func(d *Design) { d.Cells[0].Orient = FN }},
+		{"width", func(d *Design) { d.Cells[0].BaseW += 1 }},
+		{"fixed", func(d *Design) { d.Cells[0].Fixed = true }},
+		{"cell-name", func(d *Design) { d.Cells[0].Name = "renamed" }},
+		{"net-weight", func(d *Design) { d.Nets[0].Weight = 3 }},
+		{"pin-offset", func(d *Design) { d.Pins[0].Offset.X += 0.5 }},
+		{"die", func(d *Design) { d.Die.Hi.X += 10 }},
+		{"row", func(d *Design) { d.Rows[0].Height += 1 }},
+	}
+	for _, tc := range perturb {
+		d := tiny(t)
+		tc.mod(d)
+		if d.Fingerprint() == base {
+			t.Errorf("%s change did not alter the fingerprint", tc.name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresDerivedState(t *testing.T) {
+	d := tiny(t)
+	base := d.Fingerprint()
+
+	// Inflation ratios are routability-driven derived state, not input.
+	d.Cells[0].Inflate = 1.5
+	if d.Fingerprint() != base {
+		t.Error("inflation ratio leaked into the fingerprint")
+	}
+	d.Cells[0].Inflate = 1
+
+	// Net names are synthesized by readers when absent.
+	d.Nets[0].Name = "other_name"
+	if d.Fingerprint() != base {
+		t.Error("net name leaked into the fingerprint")
+	}
+	d.Nets[0].Name = "n0"
+
+	// Weight 0 hashes as the HPWL-effective default of 1.
+	d0 := tiny(t)
+	d0.Nets[0].Weight = 0
+	d1 := tiny(t)
+	d1.Nets[0].Weight = 1
+	if d0.Fingerprint() != d1.Fingerprint() {
+		t.Error("zero net weight fingerprints differently from weight 1")
+	}
+
+	// -0.0 canonicalizes to 0.0.
+	dn := tiny(t)
+	dn.Cells[0].Pos.X = negZero()
+	if dn.Fingerprint() != base {
+		t.Error("-0.0 position fingerprints differently from 0.0")
+	}
+}
+
+// negZero returns -0.0 without tripping the compiler's constant folding.
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

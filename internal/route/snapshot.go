@@ -1,0 +1,40 @@
+package route
+
+import "fmt"
+
+// DemandState is a deep copy of the grid's mutable routing state: present
+// demand plus the negotiated-congestion history. Capacities are excluded —
+// they are derived from the design and rebuilt by NewGrid — so a
+// checkpointed state stays valid as long as the design is unchanged.
+type DemandState struct {
+	NX, NY                   int
+	HDem, VDem, HHist, VHist []float64
+}
+
+// SnapshotDemand captures the grid's demand and history for checkpointing.
+func (g *Grid) SnapshotDemand() DemandState {
+	return DemandState{
+		NX: g.NX, NY: g.NY,
+		HDem:  append([]float64(nil), g.HDem...),
+		VDem:  append([]float64(nil), g.VDem...),
+		HHist: append([]float64(nil), g.HHist...),
+		VHist: append([]float64(nil), g.VHist...),
+	}
+}
+
+// RestoreDemand overwrites the grid's demand and history from a snapshot
+// taken on a grid of identical geometry.
+func (g *Grid) RestoreDemand(st DemandState) error {
+	if st.NX != g.NX || st.NY != g.NY {
+		return fmt.Errorf("route: demand snapshot is %dx%d, grid is %dx%d", st.NX, st.NY, g.NX, g.NY)
+	}
+	if len(st.HDem) != len(g.HDem) || len(st.VDem) != len(g.VDem) ||
+		len(st.HHist) != len(g.HHist) || len(st.VHist) != len(g.VHist) {
+		return fmt.Errorf("route: demand snapshot edge counts do not match a %dx%d grid", g.NX, g.NY)
+	}
+	copy(g.HDem, st.HDem)
+	copy(g.VDem, st.VDem)
+	copy(g.HHist, st.HHist)
+	copy(g.VHist, st.VHist)
+	return nil
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/store"
+)
+
+// dedupKey derives the artifact-store key for a submission: the design's
+// canonical fingerprint plus everything about the spec that shapes the
+// result — the effective placer config (with the manager's worker default
+// applied, as placeJob would), the evaluate flag (it adds routed metrics
+// to the report) and the heatmap flag (it adds an artifact). TimeoutMS is
+// deliberately excluded: a timeout changes when a job is killed, not what
+// a completed job produces.
+func (m *Manager) dedupKey(d *db.Design, spec Spec) (string, error) {
+	cfg := spec.Config
+	if cfg.Workers == 0 {
+		cfg.Workers = m.opt.Workers
+	}
+	blob, err := json.Marshal(struct {
+		Design   string      `json:"design"`
+		Config   core.Config `json:"config"`
+		Evaluate bool        `json:"evaluate"`
+		Heatmaps bool        `json:"heatmaps"`
+	}{d.Name, cfg, spec.Evaluate, spec.Heatmaps})
+	if err != nil {
+		return "", err
+	}
+	return store.Key(d.Fingerprint(), blob), nil
+}
+
+// cachedJob registers a job that is born done: the artifact store already
+// holds the result of an identical submission, so the placer never runs.
+// The job is journaled like any other (a restart lists it, terminal), and
+// its progress stream is a single terminal event with the cached marker.
+func (m *Manager) cachedJob(spec Spec, d *db.Design, arts map[string][]byte) (*Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	now := time.Now()
+	j := &Job{
+		ID:     fmt.Sprintf("job-%06d", m.nextID),
+		Spec:   spec,
+		broker: newBroker(),
+	}
+	j.state = StateDone
+	j.cached = true
+	j.submitted = now
+	j.started = now
+	j.finished = now
+	j.design = d
+	j.report = arts[reportFile]
+	j.pl = arts[resultFile]
+	if hb := arts[heatmapsFile]; hb != nil {
+		json.Unmarshal(hb, &j.heatmaps)
+	}
+	if m.opt.StateDir != "" {
+		if jj, err := openJobJournal(m.jobDir(j.ID)); err == nil {
+			j.journal = jj
+			j.broker.persist = jj.appendEvent
+		} else {
+			m.opt.Logger.Warn("journal open failed for cached job", "job", j.ID, "err", err)
+		}
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+
+	if j.journal != nil {
+		if err := j.journal.writeSpec(jobRecord{ID: j.ID, Submitted: now, Spec: spec}); err != nil {
+			m.opt.Logger.Warn("journal spec write failed", "job", j.ID, "err", err)
+		}
+		j.journal.saveArtifact(reportFile, j.report)
+		j.journal.saveArtifact(resultFile, j.pl)
+		j.journal.saveArtifact(heatmapsFile, arts[heatmapsFile])
+	}
+	j.broker.publish(Event{Type: EventState, State: StateDone, Cached: true})
+	j.broker.closeStream()
+	if j.journal != nil {
+		j.journal.close()
+	}
+	m.stats.done.Add(1)
+	m.opt.Logger.Info("job served from artifact store", "job", j.ID, "design", d.Name)
+	return j, nil
+}

@@ -21,12 +21,14 @@ const (
 // broker and doubles as the SSE event id, so clients can resume with
 // ?from=<seq+1> after a dropped connection.
 type Event struct {
-	Seq   int             `json:"seq"`
-	Type  string          `json:"type"`
-	State State           `json:"state,omitempty"`
-	Error string          `json:"error,omitempty"`
-	GP    *obs.GPRound    `json:"gp,omitempty"`
-	Route *obs.RouteRound `json:"route,omitempty"`
+	Seq   int    `json:"seq"`
+	Type  string `json:"type"`
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Cached marks a terminal state served from the artifact store.
+	Cached bool            `json:"cached,omitempty"`
+	GP     *obs.GPRound    `json:"gp,omitempty"`
+	Route  *obs.RouteRound `json:"route,omitempty"`
 }
 
 // broker is a per-job publish/subscribe hub with full history: events are
@@ -35,6 +37,11 @@ type Event struct {
 // sequence number, and never miss or reorder an event. Publishing never
 // blocks on slow consumers — readers pull at their own pace.
 type broker struct {
+	// persist, when non-nil, journals every published event. It is set
+	// before the first publish and called under mu, so the on-disk log
+	// order matches the in-memory log. Immutable afterwards.
+	persist func(Event)
+
 	mu     sync.Mutex
 	events []Event
 	done   bool
@@ -49,6 +56,19 @@ func newBroker() *broker {
 	return &broker{sig: make(chan struct{})}
 }
 
+// newBrokerFrom preloads a broker with a recovered event log. Sequence
+// numbers are reassigned from the log position, so events published after
+// a restart continue exactly where the journal stopped and SSE ?from=
+// offsets stay valid across the restart.
+func newBrokerFrom(events []Event) *broker {
+	b := newBroker()
+	for i := range events {
+		events[i].Seq = i
+	}
+	b.events = events
+	return b
+}
+
 // publish appends e to the log (assigning its Seq) and wakes subscribers.
 // Events published after closeStream are dropped.
 func (b *broker) publish(e Event) {
@@ -59,6 +79,9 @@ func (b *broker) publish(e Event) {
 	}
 	e.Seq = len(b.events)
 	b.events = append(b.events, e)
+	if b.persist != nil {
+		b.persist(e)
+	}
 	close(b.sig)
 	b.sig = make(chan struct{})
 	b.mu.Unlock()

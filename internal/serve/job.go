@@ -28,6 +28,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/gen"
 	"repro/internal/obs"
+	"repro/internal/snap"
 )
 
 // State is a job's lifecycle state.
@@ -84,9 +85,19 @@ type Job struct {
 
 	broker *broker
 
+	// journal persists the job's lifecycle (nil without a state dir).
+	journal *jobJournal
+	// resume holds the checkpoint a recovered job restarts from (nil for
+	// fresh runs).
+	resume *snap.State
+	// storeKey addresses the job's result in the artifact store ("" when
+	// caching is off or the key could not be derived).
+	storeKey string
+
 	mu        sync.Mutex
 	state     State
 	errMsg    string
+	cached    bool // result served from the artifact store
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -110,6 +121,9 @@ type Status struct {
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	// Events is the number of progress events published so far.
 	Events int `json:"events"`
+	// Cached marks a job whose result was served from the artifact store
+	// without running the placer.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // State returns the job's current lifecycle state.
@@ -136,6 +150,7 @@ func (j *Job) Status() Status {
 		Error:     j.errMsg,
 		Submitted: j.submitted,
 		Events:    j.broker.len(),
+		Cached:    j.cached,
 	}
 	if j.design != nil {
 		st.Design = j.design.Name
@@ -230,6 +245,9 @@ func (j *Job) finish(state State, errMsg string) bool {
 	j.mu.Unlock()
 	j.broker.publish(Event{Type: EventState, State: state, Error: errMsg})
 	j.broker.closeStream()
+	if j.journal != nil {
+		j.journal.close()
+	}
 	return true
 }
 

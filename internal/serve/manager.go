@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/gen"
+	"repro/internal/store"
 )
 
 // Submission errors the HTTP layer maps to status codes.
@@ -47,6 +48,21 @@ type Options struct {
 	// AllowDir, when non-empty, permits Spec.Aux path jobs for .aux files
 	// inside this directory tree. Empty disallows path jobs entirely.
 	AllowDir string
+	// StateDir, when non-empty, makes the manager durable: every job is
+	// journaled under StateDir/jobs/<id> (spec, progress events,
+	// checkpoints, artifacts), completed results are cached in a
+	// content-addressed store under StateDir/store, identical
+	// resubmissions are answered from that cache without running the
+	// placer, and a restarted manager recovers journaled jobs — terminal
+	// ones read-only, interrupted ones re-enqueued and resumed from their
+	// last checkpoint. Empty keeps everything in memory.
+	StateDir string
+	// StoreMaxBytes bounds the artifact cache (0 = store.DefaultMaxBytes,
+	// negative disables eviction). Ignored without StateDir.
+	StoreMaxBytes int64
+	// CheckpointEvery is the λ-round interval between job checkpoints
+	// (default 1: every finest-level round). Ignored without StateDir.
+	CheckpointEvery int
 	// Logger receives job lifecycle logs (nil = discard).
 	Logger *slog.Logger
 	// Runner overrides the job body (tests). When set, Submit skips
@@ -72,6 +88,7 @@ func (o Options) withDefaults() Options {
 type Manager struct {
 	opt   Options
 	queue chan *Job
+	store *store.Store // nil without Options.StateDir
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -84,20 +101,35 @@ type Manager struct {
 	stats stats
 }
 
-// NewManager builds a manager and starts its workers.
-func NewManager(opt Options) *Manager {
+// NewManager builds a manager and starts its workers. With a state
+// directory configured it first recovers journaled jobs from the previous
+// process: terminal jobs come back read-only, interrupted ones are
+// re-enqueued ahead of new submissions (the queue is widened so recovery
+// can never overflow it).
+func NewManager(opt Options) (*Manager, error) {
 	opt = opt.withDefaults()
 	m := &Manager{
-		opt:   opt,
-		queue: make(chan *Job, opt.QueueSize),
-		jobs:  make(map[string]*Job),
+		opt:  opt,
+		jobs: make(map[string]*Job),
 	}
 	m.stats.latency = newHistogram()
+	var pending []*Job
+	if opt.StateDir != "" {
+		var err error
+		pending, err = m.initPersist()
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.queue = make(chan *Job, opt.QueueSize+len(pending))
+	for _, j := range pending {
+		m.queue <- j
+	}
 	for i := 0; i < opt.Jobs; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Submit validates the spec, loads its design, and enqueues a job.
@@ -119,6 +151,20 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		}
 	}
 
+	// Dedup: an identical placement problem (same canonical design, same
+	// effective config) whose result is already in the artifact store is
+	// answered from disk — the job is born done and the placer never runs.
+	storeKey := ""
+	if m.store != nil && d != nil {
+		key, err := m.dedupKey(d, spec)
+		if err == nil {
+			storeKey = key
+			if arts, ok, _ := m.store.Get(key); ok {
+				return m.cachedJob(spec, d, arts)
+			}
+		}
+	}
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -133,15 +179,34 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	j.state = StateQueued
 	j.submitted = time.Now()
 	j.design = d
+	j.storeKey = storeKey
+	if m.opt.StateDir != "" {
+		jj, err := openJobJournal(m.jobDir(j.ID))
+		if err != nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("serve: opening job journal: %w", err)
+		}
+		j.journal = jj
+		j.broker.persist = jj.appendEvent
+	}
 	select {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
+		if j.journal != nil {
+			j.journal.close()
+			os.RemoveAll(m.jobDir(j.ID))
+		}
 		return nil, ErrQueueFull
 	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
+	if j.journal != nil {
+		if err := j.journal.writeSpec(jobRecord{ID: j.ID, Submitted: j.submitted, Spec: spec}); err != nil {
+			m.opt.Logger.Warn("journal spec write failed", "job", j.ID, "err", err)
+		}
+	}
 	j.broker.publish(Event{Type: EventState, State: StateQueued})
 	m.opt.Logger.Info("job submitted", "job", j.ID, "design", designName(d, spec))
 	return j, nil
@@ -222,12 +287,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.closePersist()
 		return nil
 	case <-ctx.Done():
 		for _, j := range m.List() {
 			j.requestCancel()
 		}
 		<-done
+		m.closePersist()
 		return ctx.Err()
 	}
 }

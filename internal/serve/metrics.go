@@ -14,6 +14,7 @@ type stats struct {
 	done     atomic.Int64
 	failed   atomic.Int64
 	canceled atomic.Int64
+	resumed  atomic.Int64 // jobs resumed from a journaled checkpoint
 	latency  *histogram
 }
 
@@ -74,6 +75,31 @@ func (m *Manager) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "placerd_jobs_total{state=\"done\"} %d\n", m.stats.done.Load())
 	fmt.Fprintf(w, "placerd_jobs_total{state=\"failed\"} %d\n", m.stats.failed.Load())
 	fmt.Fprintf(w, "placerd_jobs_total{state=\"canceled\"} %d\n", m.stats.canceled.Load())
+	fmt.Fprintf(w, "# HELP placerd_jobs_resumed_total Jobs resumed from a journaled checkpoint after a restart.\n")
+	fmt.Fprintf(w, "# TYPE placerd_jobs_resumed_total counter\n")
+	fmt.Fprintf(w, "placerd_jobs_resumed_total %d\n", m.stats.resumed.Load())
+
+	if m.store != nil {
+		st := m.store.Stats()
+		fmt.Fprintf(w, "# HELP placerd_store_hits_total Artifact-store lookups served from cache.\n")
+		fmt.Fprintf(w, "# TYPE placerd_store_hits_total counter\n")
+		fmt.Fprintf(w, "placerd_store_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# HELP placerd_store_misses_total Artifact-store lookups that missed.\n")
+		fmt.Fprintf(w, "# TYPE placerd_store_misses_total counter\n")
+		fmt.Fprintf(w, "placerd_store_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# HELP placerd_store_evictions_total Entries evicted to honor the store size bound.\n")
+		fmt.Fprintf(w, "# TYPE placerd_store_evictions_total counter\n")
+		fmt.Fprintf(w, "placerd_store_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "# HELP placerd_store_corruptions_total Entries quarantined after a checksum mismatch.\n")
+		fmt.Fprintf(w, "# TYPE placerd_store_corruptions_total counter\n")
+		fmt.Fprintf(w, "placerd_store_corruptions_total %d\n", st.Corruptions)
+		fmt.Fprintf(w, "# HELP placerd_store_entries Entries currently cached.\n")
+		fmt.Fprintf(w, "# TYPE placerd_store_entries gauge\n")
+		fmt.Fprintf(w, "placerd_store_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "# HELP placerd_store_bytes Artifact bytes currently cached.\n")
+		fmt.Fprintf(w, "# TYPE placerd_store_bytes gauge\n")
+		fmt.Fprintf(w, "placerd_store_bytes %d\n", st.Bytes)
+	}
 
 	h := m.stats.latency
 	h.mu.Lock()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/route"
+	"repro/internal/snap"
 )
 
 // placeJob is the default job body: it places the job's design with a
@@ -36,13 +37,39 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		cfg.Workers = m.opt.Workers
 	}
 	cfg.Obs = rec
+	if j.journal != nil {
+		ckPath := j.journal.checkpointPath()
+		cfg.CheckpointEvery = m.opt.CheckpointEvery
+		cfg.Checkpoint = func(st *snap.State) {
+			if err := snap.WriteFile(ckPath, st); err != nil {
+				m.opt.Logger.Warn("checkpoint write failed", "job", j.ID, "err", err)
+			}
+		}
+	}
 	placer, err := core.New(cfg)
 	if err != nil {
 		return fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
 
 	t0 := time.Now()
-	res, placeErr := placer.PlaceContext(ctx, d)
+	var res core.Result
+	var placeErr error
+	if j.resume != nil {
+		// Recovered job with a journaled checkpoint: resume mid-flow. A
+		// resume rejected up front (e.g. the reloaded design no longer
+		// matches the checkpoint) falls back to a fresh run rather than
+		// failing the job.
+		m.stats.resumed.Add(1)
+		m.opt.Logger.Info("resuming job from checkpoint", "job", j.ID,
+			"stage", j.resume.Stage.String(), "round", j.resume.Round)
+		res, placeErr = placer.PlaceFromCheckpoint(ctx, d, j.resume)
+		if placeErr != nil && ctx.Err() == nil {
+			m.opt.Logger.Warn("resume failed, restarting from scratch", "job", j.ID, "err", placeErr)
+			res, placeErr = placer.PlaceContext(ctx, d)
+		}
+	} else {
+		res, placeErr = placer.PlaceContext(ctx, d)
+	}
 	total := time.Since(t0)
 
 	row := metrics.Row{
@@ -84,6 +111,31 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		}
 		pl = plBuf.Bytes()
 	}
-	j.setArtifacts(repBuf.Bytes(), pl, rec.Heatmaps())
+	heats := rec.Heatmaps()
+	j.setArtifacts(repBuf.Bytes(), pl, heats)
+
+	var heatsJSON []byte
+	if j.Spec.Heatmaps && len(heats) > 0 {
+		heatsJSON, _ = json.Marshal(heats)
+	}
+	if j.journal != nil {
+		j.journal.saveArtifact(reportFile, repBuf.Bytes())
+		j.journal.saveArtifact(resultFile, pl)
+		j.journal.saveArtifact(heatmapsFile, heatsJSON)
+	}
+	// A successfully completed run feeds the artifact store, so the next
+	// identical submission is answered from disk.
+	if placeErr == nil && m.store != nil && j.storeKey != "" {
+		arts := map[string][]byte{
+			reportFile: repBuf.Bytes(),
+			resultFile: pl,
+		}
+		if heatsJSON != nil {
+			arts[heatmapsFile] = heatsJSON
+		}
+		if err := m.store.Put(j.storeKey, arts); err != nil {
+			m.opt.Logger.Warn("artifact store put failed", "job", j.ID, "err", err)
+		}
+	}
 	return placeErr
 }

@@ -30,9 +30,18 @@ func tinyGen() *gen.Config {
 	}
 }
 
+func mustManager(t *testing.T, opt Options) *Manager {
+	t.Helper()
+	m, err := NewManager(opt)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
 func newTestServer(t *testing.T, opt Options) (*Manager, *httptest.Server) {
 	t.Helper()
-	m := NewManager(opt)
+	m := mustManager(t, opt)
 	ts := httptest.NewServer(NewServer(m, ServerOptions{}))
 	t.Cleanup(func() {
 		ts.Close()
@@ -383,7 +392,7 @@ func TestPanicRecovery(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	started := make(chan string, 8)
 	release := make(chan struct{})
-	m := NewManager(Options{
+	m := mustManager(t, Options{
 		QueueSize: 4, Jobs: 1,
 		Runner: blockingRunner(started, release),
 	})
@@ -420,7 +429,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 
 func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 	started := make(chan string, 1)
-	m := NewManager(Options{
+	m := mustManager(t, Options{
 		Runner: blockingRunner(started, nil), // only cancelable via ctx
 	})
 	j, err := m.Submit(Spec{Synth: "sb-a"})
@@ -474,7 +483,7 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 }
 
 func TestAuxPathAllowlist(t *testing.T) {
-	m := NewManager(Options{AllowDir: t.TempDir()})
+	m := mustManager(t, Options{AllowDir: t.TempDir()})
 	defer shutdownNow(m)
 	for _, aux := range []string{"../../etc/passwd", "/etc/passwd", "a/../../b.aux"} {
 		if _, err := m.Submit(Spec{Aux: aux}); !errors.Is(err, ErrBadSpec) {
@@ -484,7 +493,7 @@ func TestAuxPathAllowlist(t *testing.T) {
 }
 
 func TestInlineFilesRejectNestedNames(t *testing.T) {
-	m := NewManager(Options{})
+	m := mustManager(t, Options{})
 	defer shutdownNow(m)
 	_, err := m.Submit(Spec{Files: map[string]string{"../x.nodes": ""}})
 	if !errors.Is(err, ErrBadSpec) {

@@ -1,0 +1,178 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenState is a fixed checkpoint exercising every field of the schema.
+// It must never change: together with testdata/v1.snap it pins the byte
+// layout of schema version 1.
+func goldenState() *State {
+	st := &State{
+		Design:   "golden",
+		Stage:    StageRoutability,
+		Level:    0,
+		Round:    7,
+		RoutIter: 2,
+		Lambda:   0.015625,
+		Mu:       3.5,
+		X:        []float64{0, 1.5, -2.25, 1e6},
+		Y:        []float64{10, 20.125, 30, -0.5},
+		Orient:   []uint8{0, 1, 5, 7},
+		Inflate:  []float64{1, 1, 1.21, 1},
+		Route: &RouteState{
+			NX: 2, NY: 2,
+			HDem:  []float64{0, 1, 2, 3},
+			VDem:  []float64{3, 2, 1, 0},
+			HHist: []float64{0.5, 0, 0, 0.5},
+			VHist: []float64{0, 0.25, 0.25, 0},
+		},
+	}
+	for i := range st.Fingerprint {
+		st.Fingerprint[i] = byte(i)
+	}
+	return st
+}
+
+func TestGolden(t *testing.T) {
+	path := filepath.Join("testdata", "v1.snap")
+	got := Encode(goldenState())
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding of the golden state changed (%d bytes vs %d golden).\n"+
+			"The v1 schema is frozen: bump Version and add a new golden instead.",
+			len(got), len(want))
+	}
+	st, err := Decode(want)
+	if err != nil {
+		t.Fatalf("decode golden: %v", err)
+	}
+	if !reflect.DeepEqual(st, goldenState()) {
+		t.Errorf("golden decode mismatch:\n got %+v\nwant %+v", st, goldenState())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []*State{
+		goldenState(),
+		{Design: "", Stage: StageGP},
+		{
+			Design: "gp-only", Stage: StageGP, Round: 3, Lambda: 2e-6, Mu: 0,
+			X: []float64{1}, Y: []float64{2}, Orient: []uint8{4}, Inflate: []float64{1},
+		},
+	}
+	for _, want := range cases {
+		got, err := Decode(Encode(want))
+		if err != nil {
+			t.Fatalf("%s: %v", want.Design, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", want.Design, got, want)
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	good := Encode(goldenState())
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, err := Decode(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	check("empty", nil)
+	check("short", good[:8])
+	check("truncated", good[:len(good)-5])
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	check("bit flip", flipped)
+
+	magic := append([]byte(nil), good...)
+	copy(magic, "NOPE")
+	check("bad magic", magic)
+
+	// Claim more cells than the buffer holds, with a fixed-up CRC: the
+	// length check must catch it, not a slice panic.
+	huge := append([]byte(nil), good...)
+	off := 4 + 4 + 4 + len("golden") + 32 + 1 + 12 + 16 // offset of the cell count
+	binary.LittleEndian.PutUint32(huge[off:], 1<<30)
+	binary.LittleEndian.PutUint32(huge[len(huge)-4:], crc32.ChecksumIEEE(huge[:len(huge)-4]))
+	check("huge count", huge)
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	data := Encode(goldenState())
+	binary.LittleEndian.PutUint32(data[4:], 99)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+	_, err := Decode(data)
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want a version-mismatch error distinct from ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("err = %v, want mention of version 99", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.snap")
+	want := goldenState()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("file round trip mismatch")
+	}
+
+	// Overwrite with a newer checkpoint; no temp files may be left behind.
+	want.Round = 9
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 9 {
+		t.Errorf("Round = %d after overwrite, want 9", got.Round)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after atomic writes, want 1", len(entries))
+	}
+
+	if _, err := ReadFile(filepath.Join(dir, "missing.snap")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file err = %v, want ErrNotExist", err)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix fallback: no advisory locking. Single-writer discipline is the
+// operator's responsibility on these platforms.
+func acquireLock(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func releaseLock(f *os.File) error { return f.Close() }

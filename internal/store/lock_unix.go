@@ -1,0 +1,35 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes a non-blocking exclusive flock on path. The kernel
+// releases the lock when the process dies, so a crashed daemon never
+// leaves the store permanently locked.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, ErrLocked
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+func releaseLock(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

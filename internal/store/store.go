@@ -1,0 +1,351 @@
+// Package store is a content-addressed on-disk artifact store for
+// placement results. Entries are keyed by SHA-256 over a canonical design
+// fingerprint (db.Design.Fingerprint) plus the serialized placer
+// configuration, so two submissions of the same placement problem — even
+// from differently formatted input files — resolve to the same key and the
+// second is served from disk instead of re-placed.
+//
+// Layout under the store root:
+//
+//	.lock                  flock'd for single-writer exclusion
+//	entries/<key>/         one directory per entry
+//	    meta.json          key, sizes, per-artifact SHA-256, access times
+//	    <artifact files>   report.json, result.pl, heatmaps.json, ...
+//	quarantine/<key>/      entries that failed their checksum on read
+//
+// The store is size-bounded: when the total artifact bytes exceed
+// Options.MaxBytes, least-recently-accessed entries are evicted. Reads
+// verify every artifact against its recorded checksum and quarantine the
+// whole entry on mismatch (a quarantined entry is a miss, never an error:
+// corruption must degrade to a cache miss, not break the caller).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBytes bounds the store when Options.MaxBytes is zero.
+const DefaultMaxBytes = 256 << 20
+
+// ErrLocked is returned by Open when another process holds the store.
+var ErrLocked = errors.New("store: already locked by another process")
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes is the eviction threshold over total artifact bytes.
+	// 0 means DefaultMaxBytes; negative disables eviction.
+	MaxBytes int64
+	// Clock overrides time.Now for access stamps (tests).
+	Clock func() time.Time
+}
+
+// Stats is a snapshot of the store's counters since Open.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Puts        int64
+	Evictions   int64
+	Corruptions int64
+	Entries     int
+	Bytes       int64
+}
+
+// Store is a single-writer content-addressed artifact store.
+type Store struct {
+	dir   string
+	max   int64
+	clock func() time.Time
+	lock  *os.File
+
+	mu      sync.Mutex
+	entries map[string]*entryInfo
+	bytes   int64
+	stats   Stats
+}
+
+type entryInfo struct {
+	size       int64
+	lastAccess time.Time
+}
+
+type meta struct {
+	Key        string            `json:"key"`
+	Size       int64             `json:"size"`
+	Created    time.Time         `json:"created"`
+	LastAccess time.Time         `json:"last_access"`
+	SHA256     map[string]string `json:"sha256"`
+}
+
+// Key derives the store key for a design fingerprint and a serialized
+// placer configuration.
+func Key(fingerprint [32]byte, config []byte) string {
+	h := sha256.New()
+	h.Write([]byte("repro/store key v1\x00"))
+	h.Write(fingerprint[:])
+	h.Write(config)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Open opens (creating if needed) the store rooted at dir and takes the
+// single-writer lock. A second Open of the same directory — from this or
+// any other process — fails with ErrLocked until Close. The on-disk index
+// is rebuilt by scanning entry metadata; entries with unreadable metadata
+// are quarantined on the spot.
+func Open(dir string, opt Options) (*Store, error) {
+	for _, sub := range []string{"", "entries", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	lock, err := acquireLock(filepath.Join(dir, ".lock"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		max:     opt.MaxBytes,
+		clock:   opt.Clock,
+		lock:    lock,
+		entries: make(map[string]*entryInfo),
+	}
+	if s.max == 0 {
+		s.max = DefaultMaxBytes
+	}
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	ents, err := os.ReadDir(s.entriesDir())
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	for _, de := range ents {
+		if !de.IsDir() {
+			continue
+		}
+		key := de.Name()
+		m, err := s.readMeta(key)
+		if err != nil || m.Key != key {
+			s.quarantineLocked(key)
+			s.stats.Corruptions++
+			continue
+		}
+		s.entries[key] = &entryInfo{size: m.Size, lastAccess: m.LastAccess}
+		s.bytes += m.Size
+	}
+	return s, nil
+}
+
+// Close releases the single-writer lock. The store must not be used after.
+func (s *Store) Close() error {
+	if s.lock == nil {
+		return nil
+	}
+	err := releaseLock(s.lock)
+	s.lock = nil
+	return err
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// Put stores the named artifacts under key, replacing any existing entry,
+// then evicts least-recently-accessed entries until the store fits its
+// size bound (the entry just written is exempt, so a single oversized
+// result is still cached once).
+func (s *Store) Put(key string, artifacts map[string][]byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(s.entriesDir(), ".put-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	m := meta{
+		Key:        key,
+		Created:    s.clock().UTC(),
+		LastAccess: s.clock().UTC(),
+		SHA256:     make(map[string]string, len(artifacts)),
+	}
+	for name, data := range artifacts {
+		if name == metaName || !filepath.IsLocal(name) {
+			return fmt.Errorf("store: bad artifact name %q", name)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			return err
+		}
+		sum := sha256.Sum256(data)
+		m.SHA256[name] = hex.EncodeToString(sum[:])
+		m.Size += int64(len(data))
+	}
+	mb, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, metaName), mb, 0o644); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[key]; ok {
+		s.bytes -= old.size
+		delete(s.entries, key)
+		if err := os.RemoveAll(s.entryDir(key)); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, s.entryDir(key)); err != nil {
+		return err
+	}
+	s.entries[key] = &entryInfo{size: m.Size, lastAccess: m.LastAccess}
+	s.bytes += m.Size
+	s.stats.Puts++
+	s.evictLocked(key)
+	return nil
+}
+
+// Get returns the artifacts stored under key. ok is false on a miss — the
+// key is absent, or the entry failed its checksum and was quarantined.
+// The error is reserved for real I/O failures.
+func (s *Store) Get(key string) (artifacts map[string][]byte, ok bool, err error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[key]
+	if !found {
+		s.stats.Misses++
+		return nil, false, nil
+	}
+	m, err := s.readMeta(key)
+	if err != nil {
+		s.corruptLocked(key, e)
+		return nil, false, nil
+	}
+	artifacts = make(map[string][]byte, len(m.SHA256))
+	for name, wantHex := range m.SHA256 {
+		data, err := os.ReadFile(filepath.Join(s.entryDir(key), name))
+		if err != nil {
+			s.corruptLocked(key, e)
+			return nil, false, nil
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != wantHex {
+			s.corruptLocked(key, e)
+			return nil, false, nil
+		}
+		artifacts[name] = data
+	}
+	e.lastAccess = s.clock().UTC()
+	m.LastAccess = e.lastAccess
+	// Best-effort access-time persistence; an unwritable meta only weakens
+	// LRU ordering across restarts.
+	if mb, err := json.MarshalIndent(m, "", "  "); err == nil {
+		os.WriteFile(filepath.Join(s.entryDir(key), metaName), mb, 0o644)
+	}
+	s.stats.Hits++
+	return artifacts, true, nil
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.bytes
+	return st
+}
+
+const metaName = "meta.json"
+
+func (s *Store) entriesDir() string         { return filepath.Join(s.dir, "entries") }
+func (s *Store) entryDir(key string) string { return filepath.Join(s.entriesDir(), key) }
+
+func (s *Store) readMeta(key string) (*meta, error) {
+	data, err := os.ReadFile(filepath.Join(s.entryDir(key), metaName))
+	if err != nil {
+		return nil, err
+	}
+	m := &meta{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// corruptLocked quarantines a damaged entry and records it as a miss.
+func (s *Store) corruptLocked(key string, e *entryInfo) {
+	s.quarantineLocked(key)
+	s.bytes -= e.size
+	delete(s.entries, key)
+	s.stats.Corruptions++
+	s.stats.Misses++
+}
+
+// quarantineLocked moves an entry directory aside for post-mortem instead
+// of deleting it.
+func (s *Store) quarantineLocked(key string) {
+	dst := filepath.Join(s.dir, "quarantine", key)
+	os.RemoveAll(dst)
+	if err := os.Rename(s.entryDir(key), dst); err != nil {
+		// Fall back to removal so a poisoned entry cannot keep serving.
+		os.RemoveAll(s.entryDir(key))
+	}
+}
+
+// evictLocked removes least-recently-accessed entries until the store is
+// within its size bound. keep is never evicted.
+func (s *Store) evictLocked(keep string) {
+	if s.max < 0 {
+		return
+	}
+	type cand struct {
+		key string
+		e   *entryInfo
+	}
+	var cands []cand
+	for k, e := range s.entries {
+		if k != keep {
+			cands = append(cands, cand{k, e})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].e.lastAccess.Before(cands[j].e.lastAccess)
+	})
+	for _, c := range cands {
+		if s.bytes <= s.max {
+			return
+		}
+		os.RemoveAll(s.entryDir(c.key))
+		s.bytes -= c.e.size
+		delete(s.entries, c.key)
+		s.stats.Evictions++
+	}
+}
+
+func validKey(key string) error {
+	if len(key) != 64 {
+		return fmt.Errorf("store: malformed key %q", key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("store: malformed key %q", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic, strictly increasing clock.
+func testClock() func() time.Time {
+	t := time.Unix(1000000, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func testKey(b byte) string {
+	var fp [32]byte
+	return Key(fp, []byte{b})
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	if opt.Clock == nil {
+		opt.Clock = testClock()
+	}
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := testKey(1)
+	want := map[string][]byte{
+		"report.json": []byte(`{"ok":true}`),
+		"result.pl":   []byte("UCLA pl 1.0\n"),
+	}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v, want hit", ok, err)
+	}
+	for name, data := range want {
+		if !bytes.Equal(got[name], data) {
+			t.Errorf("artifact %s = %q, want %q", name, got[name], data)
+		}
+	}
+	if _, ok, _ := s.Get(testKey(2)); ok {
+		t.Error("Get of absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 put / 1 entry", st)
+	}
+}
+
+func TestKeyDerivation(t *testing.T) {
+	var fpA, fpB [32]byte
+	fpB[0] = 1
+	cfg := []byte(`{"workers":4}`)
+	if Key(fpA, cfg) != Key(fpA, cfg) {
+		t.Error("Key is not deterministic")
+	}
+	if Key(fpA, cfg) == Key(fpB, cfg) {
+		t.Error("different fingerprints collide")
+	}
+	if Key(fpA, cfg) == Key(fpA, []byte(`{"workers":8}`)) {
+		t.Error("different configs collide")
+	}
+	if err := validKey(Key(fpA, cfg)); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := (&Store{}).Get("not-a-key"); err == nil {
+		t.Error("malformed key accepted")
+	}
+}
+
+func TestCorruptionQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := testKey(3)
+	if err := s.Put(key, map[string][]byte{"report.json": []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the artifact on disk behind the store's back.
+	path := filepath.Join(dir, "entries", key, "report.json")
+	if err := os.WriteFile(path, []byte("evil"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key); ok || err != nil {
+		t.Fatalf("Get of corrupted entry = ok=%v err=%v, want miss", ok, err)
+	}
+	st := s.Stats()
+	if st.Corruptions != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 1 corruption and 0 entries", st)
+	}
+	// The damaged entry is preserved for post-mortem, not served again.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key, "report.json")); err != nil {
+		t.Errorf("quarantined artifact missing: %v", err)
+	}
+	if _, ok, _ := s.Get(key); ok {
+		t.Error("corrupted entry served after quarantine")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Three 100-byte entries in a 250-byte store: the LRU one must go.
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 250})
+	payload := func(b byte) map[string][]byte {
+		return map[string][]byte{"result.pl": bytes.Repeat([]byte{b}, 100)}
+	}
+	k1, k2, k3 := testKey(1), testKey(2), testKey(3)
+	for i, k := range []string{k1, k2} {
+		if err := s.Put(k, payload(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k1 so k2 becomes least recently used.
+	if _, ok, _ := s.Get(k1); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	if err := s.Put(k3, payload(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(k2); ok {
+		t.Error("LRU entry k2 survived eviction")
+	}
+	for _, k := range []string{k1, k3} {
+		if _, ok, _ := s.Get(k); !ok {
+			t.Errorf("entry %s evicted out of LRU order", k[:8])
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 250 {
+		t.Errorf("store holds %d bytes, bound is 250", st.Bytes)
+	}
+}
+
+func TestOversizedEntryStillCached(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{MaxBytes: 10})
+	key := testKey(7)
+	if err := s.Put(key, map[string][]byte{"big": make([]byte, 1000)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(key); !ok {
+		t.Error("freshly put oversized entry was evicted immediately")
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(5)
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put(key, map[string][]byte{"report.json": []byte("kept")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	got, ok, err := s2.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("entry lost across reopen: ok=%v err=%v", ok, err)
+	}
+	if string(got["report.json"]) != "kept" {
+		t.Errorf("artifact = %q after reopen", got["report.json"])
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes != 4 {
+		t.Errorf("rebuilt index = %+v, want 1 entry of 4 bytes", st)
+	}
+}
+
+func TestSingleWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open err = %v, want ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestBadArtifactNames(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, name := range []string{"meta.json", "../escape", "/abs"} {
+		if err := s.Put(testKey(8), map[string][]byte{name: []byte("x")}); err == nil {
+			t.Errorf("artifact name %q accepted", name)
+		}
+	}
+}
+
+func TestChecksumMatchesContent(t *testing.T) {
+	// The recorded checksum must be the plain SHA-256 of the artifact, so
+	// external tooling can audit entries.
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := testKey(9)
+	data := []byte("audit me")
+	if err := s.Put(key, map[string][]byte{"a.txt": data}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.readMeta(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	if want := sum[:]; m.SHA256["a.txt"] != hexString(want) {
+		t.Errorf("meta sha = %s, want %x", m.SHA256["a.txt"], want)
+	}
+}
+
+func hexString(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 2*len(b))
+	for i, v := range b {
+		out[2*i], out[2*i+1] = digits[v>>4], digits[v&0xf]
+	}
+	return string(out)
+}
