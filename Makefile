@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router serve test-serve test-store fuzz-smoke
+.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp serve test-serve test-store test-dp fuzz-smoke
 
 all: check
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/...
 
 # Run the placement job server locally (see DESIGN.md §9).
 serve:
@@ -67,3 +67,17 @@ bench-obs:
 bench-router:
 	$(GO) test -bench . -benchmem -run xxx ./internal/route/
 	$(GO) run ./cmd/benchroute
+
+# Detailed-placement suite alone, race-checked: incremental-engine
+# differentials, cross-worker .pl determinism, and placement invariants
+# (see DESIGN.md §11).
+test-dp:
+	$(GO) test -race -v ./internal/incr/ ./internal/dp/ ./internal/legal/
+
+# Detailed-placement hot-path benchmark plus the machine-readable
+# BENCH_dp.json: incremental engine vs. the recompute baseline across
+# worker counts. BENCH_DP_FLAGS trims it for CI.
+BENCH_DP_FLAGS ?= -cells 2000 -workers 1,2,8 -out BENCH_dp.json
+bench-dp:
+	$(GO) test -bench Optimize -benchmem -run xxx ./internal/dp/
+	$(GO) run ./cmd/benchdp $(BENCH_DP_FLAGS)

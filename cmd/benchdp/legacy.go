@@ -1,0 +1,388 @@
+package main
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// This file reconstructs the pre-engine detailed placement — the serial,
+// rescan-everything implementation internal/dp shipped before the
+// incremental-HPWL engine replaced it — as the benchmark baseline. Every
+// candidate evaluation (a netCost pair around a trial swap, one window
+// permutation, one row-shift probe) counts as one trial, the same unit
+// the new engine reports, so moves/sec compares like with like.
+//
+// Congestion awareness is omitted: the benchmark runs both sides without
+// a congestion map, where the old congestion code was a no-op.
+
+type legacyResult struct {
+	trials int
+	swaps  int
+}
+
+type legacyOptimizer struct {
+	d         *db.Design
+	window    int
+	radius    float64
+	obstacles []geom.Rect
+	trials    int
+}
+
+// legacyOptimize runs the old serial passes and reports the trial count.
+func legacyOptimize(d *db.Design, passes, window int, radius float64) legacyResult {
+	o := &legacyOptimizer{d: d, window: window, radius: radius}
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
+			o.obstacles = append(o.obstacles, c.Rect())
+		}
+	}
+	res := legacyResult{}
+	for p := 0; p < passes; p++ {
+		res.swaps += o.globalSwap()
+		o.localReorder()
+		o.rowShift()
+	}
+	res.trials = o.trials
+	return res
+}
+
+// netCost is the replaced hot spot verbatim: a fresh map per call and a
+// full pin rescan of every net touching the cells.
+func (o *legacyOptimizer) netCost(cells ...int) float64 {
+	seen := map[int]bool{}
+	var total float64
+	for _, ci := range cells {
+		for _, pi := range o.d.Cells[ci].Pins {
+			ni := o.d.Pins[pi].Net
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			w := o.d.Nets[ni].Weight
+			if w == 0 {
+				w = 1
+			}
+			total += w * o.d.NetHPWL(ni)
+		}
+	}
+	return total
+}
+
+func (o *legacyOptimizer) gapBounds(left, right, y, h, x float64) (float64, float64) {
+	for _, ob := range o.obstacles {
+		if ob.Hi.Y <= y || ob.Lo.Y >= y+h {
+			continue
+		}
+		if ob.Hi.X <= x && ob.Hi.X > left {
+			left = ob.Hi.X
+		}
+		if ob.Lo.X >= x && ob.Lo.X < right {
+			right = ob.Lo.X
+		}
+	}
+	return left, right
+}
+
+func (o *legacyOptimizer) optimalPoint(ci int) (geom.Point, bool) {
+	d := o.d
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	found := false
+	for _, pi := range d.Cells[ci].Pins {
+		ni := d.Pins[pi].Net
+		for _, qi := range d.Nets[ni].Pins {
+			if d.Pins[qi].Cell == ci {
+				continue
+			}
+			p := d.PinPos(qi)
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+			found = true
+		}
+	}
+	if !found {
+		return geom.Point{}, false
+	}
+	return geom.Point{X: (minX + maxX) / 2, Y: (minY + maxY) / 2}, true
+}
+
+func (o *legacyOptimizer) fenceOK(ci int, r geom.Rect) bool {
+	rg := o.d.CellRegion(ci)
+	if rg != db.NoRegion {
+		return o.d.Regions[rg].Contains(r)
+	}
+	for gi := range o.d.Regions {
+		for _, fr := range o.d.Regions[gi].Rects {
+			if fr.Overlaps(r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (o *legacyOptimizer) movableStd() []int {
+	var out []int
+	for ci := range o.d.Cells {
+		c := &o.d.Cells[ci]
+		if c.Movable() && c.Kind == db.StdCell {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+func (o *legacyOptimizer) globalSwap() int {
+	d := o.d
+	cells := o.movableStd()
+	rowH := d.RowHeight()
+	if rowH <= 0 {
+		rowH = 1
+	}
+	bucket := rowH * o.radius
+	type bkey struct{ x, y int }
+	idx := make(map[bkey][]int)
+	keyOf := func(p geom.Point) bkey {
+		return bkey{int(p.X / bucket), int(p.Y / bucket)}
+	}
+	for _, ci := range cells {
+		k := keyOf(d.Cells[ci].Pos)
+		idx[k] = append(idx[k], ci)
+	}
+	swaps := 0
+	for _, ci := range cells {
+		c := &d.Cells[ci]
+		want, ok := o.optimalPoint(ci)
+		if !ok || want.Dist(c.Center()) < rowH {
+			continue
+		}
+		k := keyOf(want)
+		best := -1
+		bestGain := 1e-9
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, cj := range idx[bkey{k.x + dx, k.y + dy}] {
+					if cj == ci {
+						continue
+					}
+					p := &d.Cells[cj]
+					if p.W() != c.W() || p.H() != c.H() {
+						continue
+					}
+					if !o.fenceOK(ci, p.Rect()) || !o.fenceOK(cj, c.Rect()) {
+						continue
+					}
+					o.trials++
+					before := o.netCost(ci, cj)
+					d.Cells[ci].Pos, d.Cells[cj].Pos = d.Cells[cj].Pos, d.Cells[ci].Pos
+					after := o.netCost(ci, cj)
+					d.Cells[ci].Pos, d.Cells[cj].Pos = d.Cells[cj].Pos, d.Cells[ci].Pos
+					if gain := before - after; gain > bestGain {
+						bestGain = gain
+						best = cj
+					}
+				}
+			}
+		}
+		if best >= 0 {
+			ki := keyOf(d.Cells[ci].Pos)
+			kj := keyOf(d.Cells[best].Pos)
+			d.Cells[ci].Pos, d.Cells[best].Pos = d.Cells[best].Pos, d.Cells[ci].Pos
+			swaps++
+			if ki != kj {
+				idx[ki] = legacyReplace(idx[ki], ci, best)
+				idx[kj] = legacyReplace(idx[kj], best, ci)
+			}
+		}
+	}
+	return swaps
+}
+
+func legacyReplace(s []int, old, new int) []int {
+	for i, v := range s {
+		if v == old {
+			s[i] = new
+			break
+		}
+	}
+	return s
+}
+
+func (o *legacyOptimizer) rowsOf() map[float64][]int {
+	rows := make(map[float64][]int)
+	for _, ci := range o.movableStd() {
+		rows[o.d.Cells[ci].Pos.Y] = append(rows[o.d.Cells[ci].Pos.Y], ci)
+	}
+	for y := range rows {
+		r := rows[y]
+		sort.Slice(r, func(a, b int) bool {
+			if o.d.Cells[r[a]].Pos.X != o.d.Cells[r[b]].Pos.X {
+				return o.d.Cells[r[a]].Pos.X < o.d.Cells[r[b]].Pos.X
+			}
+			return r[a] < r[b]
+		})
+	}
+	return rows
+}
+
+func legacySortedRowYs(rows map[float64][]int) []float64 {
+	ys := make([]float64, 0, len(rows))
+	for y := range rows {
+		ys = append(ys, y)
+	}
+	sort.Float64s(ys)
+	return ys
+}
+
+func (o *legacyOptimizer) localReorder() int {
+	d := o.d
+	rows := o.rowsOf()
+	w := o.window
+	count := 0
+	for _, y := range legacySortedRowYs(rows) {
+		row := rows[y]
+		for s := 0; s+w <= len(row); s++ {
+			win := row[s : s+w]
+			left := d.Cells[win[0]].Pos.X
+			right := d.Die.Hi.X
+			if s+w < len(row) {
+				right = d.Cells[row[s+w]].Pos.X
+			}
+			_, right = o.gapBounds(left, right, y, d.Cells[win[0]].H(), left)
+			var widthSum float64
+			for _, ci := range win {
+				widthSum += d.Cells[ci].W()
+			}
+			if widthSum > right-left+1e-9 {
+				continue
+			}
+			if o.tryPermutations(win, left, right) {
+				count++
+				sort.Slice(win, func(a, b int) bool {
+					return d.Cells[win[a]].Pos.X < d.Cells[win[b]].Pos.X
+				})
+			}
+		}
+	}
+	return count
+}
+
+func (o *legacyOptimizer) tryPermutations(win []int, leftBound, rightBound float64) bool {
+	d := o.d
+	n := len(win)
+	orig := make([]geom.Point, n)
+	for i, ci := range win {
+		orig[i] = d.Cells[ci].Pos
+	}
+	apply := func(perm []int) bool {
+		x := leftBound
+		for _, pi := range perm {
+			ci := win[pi]
+			c := &d.Cells[ci]
+			c.Pos = geom.Point{X: x, Y: orig[0].Y}
+			x += c.W()
+		}
+		if x > rightBound+1e-9 {
+			return false
+		}
+		for _, pi := range perm {
+			ci := win[pi]
+			if !o.fenceOK(ci, d.Cells[ci].Rect()) {
+				return false
+			}
+		}
+		return true
+	}
+	restore := func() {
+		for i, ci := range win {
+			d.Cells[ci].Pos = orig[i]
+		}
+	}
+	bestCost := o.netCost(win...)
+	var bestPerm []int
+	for _, perm := range legacyPermutations(n) {
+		o.trials++
+		if !apply(perm) {
+			restore()
+			continue
+		}
+		c := o.netCost(win...)
+		if c < bestCost-1e-9 {
+			bestCost = c
+			bestPerm = append([]int(nil), perm...)
+		}
+		restore()
+	}
+	if bestPerm == nil {
+		return false
+	}
+	apply(bestPerm)
+	return true
+}
+
+func legacyPermutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	sub := legacyPermutations(n - 1)
+	var out [][]int
+	for _, p := range sub {
+		for pos := 0; pos <= len(p); pos++ {
+			np := make([]int, 0, n)
+			np = append(np, p[:pos]...)
+			np = append(np, n-1)
+			np = append(np, p[pos:]...)
+			out = append(out, np)
+		}
+	}
+	return out
+}
+
+func (o *legacyOptimizer) rowShift() int {
+	d := o.d
+	rows := o.rowsOf()
+	count := 0
+	for _, y := range legacySortedRowYs(rows) {
+		row := rows[y]
+		for i, ci := range row {
+			c := &d.Cells[ci]
+			left := d.Die.Lo.X
+			if i > 0 {
+				p := &d.Cells[row[i-1]]
+				left = p.Pos.X + p.W()
+			}
+			right := d.Die.Hi.X
+			if i+1 < len(row) {
+				right = d.Cells[row[i+1]].Pos.X
+			}
+			left, right = o.gapBounds(left, right, y, c.H(), c.Pos.X)
+			if right-left < c.W() {
+				continue
+			}
+			want, ok := o.optimalPoint(ci)
+			if !ok {
+				continue
+			}
+			targetX := math.Max(left, math.Min(want.X-c.W()/2, right-c.W()))
+			if math.Abs(targetX-c.Pos.X) < 1e-9 {
+				continue
+			}
+			oldPos := c.Pos
+			o.trials++
+			before := o.netCost(ci)
+			c.Pos = geom.Point{X: targetX, Y: oldPos.Y}
+			if !o.fenceOK(ci, c.Rect()) || o.netCost(ci) >= before-1e-9 {
+				c.Pos = oldPos
+				continue
+			}
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,239 @@
+// Command benchdp is a small benchmark driver for detailed placement. It
+// legalizes a scattered synthetic design, runs the dp passes at one or
+// more worker counts, and emits a machine-readable JSON report
+// (BENCH_dp.json by default) — trial moves per second, allocations per
+// trial, HPWL delta — so the perf trajectory of the incremental-HPWL
+// engine can be tracked across commits alongside the router's.
+//
+// Each report also measures the pre-engine serial baseline: a faithful
+// reconstruction (legacy.go) of the detailed placement this repo shipped
+// before the incremental engine — a fresh map[int]bool plus a full
+// db.NetHPWL pin rescan of every touched net on each candidate move.
+// Both sides count one trial per candidate evaluation, so moves/sec
+// compares like with like; run speedups are reported against it.
+//
+// Usage:
+//
+//	go run ./cmd/benchdp                    # default suite -> BENCH_dp.json
+//	go run ./cmd/benchdp -cells 2000 -workers 1,8 -out -   # print to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/dp"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/legal"
+)
+
+// Run is one measured detailed-placement configuration.
+type Run struct {
+	Design      string  `json:"design"`
+	Cells       int     `json:"cells"`
+	Workers     int     `json:"workers"`
+	Passes      int     `json:"passes"`
+	Trials      int     `json:"trials"`
+	WallSeconds float64 `json:"wall_seconds"`
+	MovesPerSec float64 `json:"moves_per_sec"`
+	// AllocsPerOp and BytesPerOp are per trial move, measured over the
+	// whole Optimize call (including cache construction), best repetition.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	HPWLBefore  float64 `json:"hpwl_before"`
+	HPWLAfter   float64 `json:"hpwl_after"`
+	Swaps       int     `json:"swaps"`
+	Reorders    int     `json:"reorders"`
+	Shifts      int     `json:"shifts"`
+	// Speedup is MovesPerSec over the legacy serial baseline's.
+	Speedup float64 `json:"speedup_vs_baseline"`
+}
+
+// Baseline is the legacy-style serial evaluator measurement for one
+// design size.
+type Baseline struct {
+	Cells       int     `json:"cells"`
+	Trials      int     `json:"trials"`
+	WallSeconds float64 `json:"wall_seconds"`
+	MovesPerSec float64 `json:"moves_per_sec"`
+}
+
+// Report is the whole emitted document.
+type Report struct {
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Baselines  []Baseline `json:"baselines"`
+	Runs       []Run      `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "BENCH_dp.json", "output file (- for stdout)")
+		cells   = flag.String("cells", "2000", "comma-separated design sizes")
+		workers = flag.String("workers", "1,2,8", "comma-separated worker counts")
+		passes  = flag.Int("passes", 2, "dp passes per run")
+		seed    = flag.Int64("seed", 3, "benchmark design seed")
+		repeat  = flag.Int("repeat", 3, "timed repetitions per configuration (best wall time wins)")
+	)
+	flag.Parse()
+
+	wlist, err := parseInts(*workers)
+	if err != nil {
+		return err
+	}
+	clist, err := parseInts(*cells)
+	if err != nil {
+		return err
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range clist {
+		d, start, err := setup(n, *seed)
+		if err != nil {
+			return err
+		}
+		base := measureBaseline(d, start, n, *passes)
+		rep.Baselines = append(rep.Baselines, base)
+		fmt.Fprintf(os.Stderr, "%s cells=%d baseline: %d trials in %.3fs (%.0f moves/s)\n",
+			d.Name, n, base.Trials, base.WallSeconds, base.MovesPerSec)
+		for _, w := range wlist {
+			r := measure(d, start, n, w, *passes, *repeat)
+			if base.MovesPerSec > 0 {
+				r.Speedup = r.MovesPerSec / base.MovesPerSec
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Fprintf(os.Stderr, "%s workers=%d: %d trials in %.3fs (%.0f moves/s, %.2f allocs/op, %.1fx baseline)\n",
+				r.Design, w, r.Trials, r.WallSeconds, r.MovesPerSec, r.AllocsPerOp, r.Speedup)
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+// setup builds and legalizes the benchmark design, returning it plus a
+// snapshot of every cell position (the common starting point restored
+// before each measured run).
+func setup(cells int, seed int64) (*db.Design, []geom.Point, error) {
+	d := gen.MustGenerate(gen.Congested(cells, seed))
+	// Deterministic spread so nets have extent without running placement.
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%97)/97*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*61)%89)/89*d.Die.H(),
+		})
+		if rg := d.CellRegion(ci); rg != db.NoRegion {
+			c.SetCenter(d.Regions[rg].Nearest(c.Center()))
+		}
+	}
+	legal.LegalizeMacros(d)
+	if _, err := legal.LegalizeCells(d); err != nil {
+		return nil, nil, err
+	}
+	start := make([]geom.Point, len(d.Cells))
+	for ci := range d.Cells {
+		start[ci] = d.Cells[ci].Pos
+	}
+	return d, start, nil
+}
+
+func restore(d *db.Design, start []geom.Point) {
+	for ci := range d.Cells {
+		d.Cells[ci].Pos = start[ci]
+	}
+}
+
+func measure(d *db.Design, start []geom.Point, cells, workers, passes, repeat int) Run {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var m0, m1 runtime.MemStats
+	best := time.Duration(1<<63 - 1)
+	var allocs, bytes uint64
+	var res dp.Result
+	for i := 0; i < repeat; i++ {
+		restore(d, start)
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		res = dp.Optimize(d, dp.Options{Passes: passes, Workers: workers})
+		el := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		if el < best {
+			best = el
+			allocs = m1.Mallocs - m0.Mallocs
+			bytes = m1.TotalAlloc - m0.TotalAlloc
+		}
+	}
+	run := Run{
+		Design: d.Name, Cells: cells, Workers: res.Workers, Passes: passes,
+		Trials: res.Trials, WallSeconds: best.Seconds(),
+		HPWLBefore: res.Before, HPWLAfter: res.After,
+		Swaps: res.Swaps, Reorders: res.Reorders, Shifts: res.Shifts,
+	}
+	if run.WallSeconds > 0 {
+		run.MovesPerSec = float64(res.Trials) / run.WallSeconds
+	}
+	if res.Trials > 0 {
+		run.AllocsPerOp = float64(allocs) / float64(res.Trials)
+		run.BytesPerOp = float64(bytes) / float64(res.Trials)
+	}
+	return run
+}
+
+// measureBaseline times the reconstructed pre-engine serial passes
+// (legacy.go) on the same starting placement and pass count.
+func measureBaseline(d *db.Design, start []geom.Point, cells, passes int) Baseline {
+	restore(d, start)
+	t0 := time.Now()
+	res := legacyOptimize(d, passes, 3, 10)
+	el := time.Since(t0)
+	b := Baseline{Cells: cells, Trials: res.trials, WallSeconds: el.Seconds()}
+	if b.WallSeconds > 0 {
+		b.MovesPerSec = float64(res.trials) / b.WallSeconds
+	}
+	return b
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad integer list %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

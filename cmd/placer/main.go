@@ -74,7 +74,7 @@ func run() error {
 		ckDir     = flag.String("checkpoint-dir", "", "write resumable placement checkpoints (<design>.snap) into this directory")
 		ckEvery   = flag.Int("checkpoint-every", 1, "lambda rounds between checkpoints (with -checkpoint-dir)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file instead of placing from scratch")
-		workers   = flag.Int("workers", 0, "worker count for parallel kernels (0 = auto, honors REPRO_WORKERS)")
+		workers   = flag.Int("workers", 0, "worker count for parallel kernels incl. DP and legalization (0 = auto, honors REPRO_WORKERS)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a partial -report is still written")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")

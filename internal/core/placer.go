@@ -192,12 +192,13 @@ func (pl *Placer) finish(ctx context.Context, d *db.Design, routedGrid *route.Gr
 	t2 := time.Now()
 	legSp := rec.StartSpan("legalize")
 	legal.LegalizeMacros(d)
-	lres, err := legal.LegalizeCells(d)
+	lres, err := legal.LegalizeCellsOpt(d, legal.Options{Workers: cfg.Workers})
 	if err != nil {
 		return err
 	}
 	if legSp != nil {
 		legSp.Add("fallbacks", int64(lres.Fallbacks))
+		legSp.Add("workers", int64(lres.Workers))
 		legSp.End()
 	}
 	res.Legal = lres
@@ -211,7 +212,7 @@ func (pl *Placer) finish(ctx context.Context, d *db.Design, routedGrid *route.Gr
 	// ---- Detailed placement ------------------------------------------
 	if !cfg.DisableDP {
 		t3 := time.Now()
-		dpOpt := dp.Options{Passes: cfg.DPPasses, Obs: rec}
+		dpOpt := dp.Options{Passes: cfg.DPPasses, Workers: cfg.Workers, Obs: rec}
 		if routedGrid != nil {
 			// Routability-aware detailed placement: the final routed
 			// congestion map penalizes moves into overloaded tiles.

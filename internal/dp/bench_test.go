@@ -1,0 +1,43 @@
+package dp
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/legal"
+)
+
+// BenchmarkOptimize2000 times the full detailed-placement pass set on
+// the 2000-cell congested synthetic design, restarting from the same
+// scattered-then-legalized placement each iteration (the design mirrors
+// cmd/benchdp's engine configuration).
+func BenchmarkOptimize2000(b *testing.B) {
+	d := gen.MustGenerate(gen.Congested(2000, 3))
+	for i, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + float64((i*37)%97)/97*d.Die.W(),
+			Y: d.Die.Lo.Y + float64((i*61)%89)/89*d.Die.H(),
+		})
+		if rg := d.CellRegion(ci); rg != db.NoRegion {
+			c.SetCenter(d.Regions[rg].Nearest(c.Center()))
+		}
+	}
+	legal.LegalizeMacros(d)
+	legal.LegalizeCells(d)
+	start := make([]geom.Point, len(d.Cells))
+	for ci := range d.Cells {
+		start[ci] = d.Cells[ci].Pos
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for ci := range d.Cells {
+			d.Cells[ci].Pos = start[ci]
+		}
+		b.StartTimer()
+		Optimize(d, Options{Passes: 2, Workers: 1})
+	}
+}

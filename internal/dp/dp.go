@@ -5,16 +5,36 @@
 // free gap). All moves are HPWL-greedy and fence-guarded: a move that
 // would take a cell out of its fence, or an outsider into one, is
 // rejected, so the legality invariants from the legalizer are preserved.
+//
+// Cost evaluation runs on an incremental engine (incr.BBoxCache): every
+// trial move asks a DeltaEval for the exact change in weighted HPWL in
+// O(pins-on-cell), instead of rescanning every pin of every touched net,
+// and commits flow through the cache so the boxes stay exact. The warm
+// trial path is allocation-free.
+//
+// Each pass is parallelized with the same recipe as the router: a
+// *propose* phase fans the candidate moves out over par worker
+// goroutines, each evaluating against the frozen pre-pass state and
+// writing only its own per-item slot; then a serial *commit* phase walks
+// the slots in fixed index order, re-validates every proposal against the
+// live state (bounds, fences, and gain), and applies the survivors
+// through the cache. Worker count decides only who evaluates, never what
+// commits, so the result is byte-identical for any worker count.
 package dp
 
 import (
-	"math"
 	"sort"
 
 	"repro/internal/db"
 	"repro/internal/geom"
+	"repro/internal/incr"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
+
+// eps is the strict-improvement threshold shared by every move kind: a
+// proposal commits only when it lowers cost by more than this.
+const eps = 1e-9
 
 // Options tunes detailed placement.
 type Options struct {
@@ -26,6 +46,11 @@ type Options struct {
 	// SwapRadius is the neighbourhood, in row heights, searched for swap
 	// partners around a cell's optimal position (default 10).
 	SwapRadius float64
+
+	// Workers is the propose-phase worker count, resolved through
+	// par.Workers (≤ 0 selects the automatic default). Placement output
+	// is byte-identical for every worker count.
+	Workers int
 
 	// Congestion, when non-nil, makes detailed placement routability-
 	// aware: moves into tiles whose utilization exceeds 1 pay a penalty
@@ -66,20 +91,19 @@ type Result struct {
 	Swaps         int
 	Reorders      int
 	Shifts        int
+	// Trials counts evaluated candidate moves (propose and commit phases
+	// combined); it is scheduling-independent.
+	Trials int
+	// Workers is the resolved propose-phase worker count.
+	Workers int
 }
 
 // Optimize runs the detailed-placement passes over the design in place.
 func Optimize(d *db.Design, opt Options) Result {
 	opt = opt.withDefaults()
-	o := &optimizer{d: d, opt: opt}
-	for ci := range d.Cells {
-		c := &d.Cells[ci]
-		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
-			o.obstacles = append(o.obstacles, c.Rect())
-		}
-	}
+	o := newOptimizer(d, opt)
 	sp := opt.Obs.StartSpan("dp")
-	res := Result{Before: d.HPWL()}
+	res := Result{Before: d.HPWL(), Workers: o.workers}
 	for p := 0; p < opt.Passes; p++ {
 		psp := sp.StartSpanf("pass-%d", p)
 		sw, re, sh := o.globalSwap(), o.localReorder(), o.rowShift()
@@ -93,15 +117,19 @@ func Optimize(d *db.Design, opt Options) Result {
 			psp.End()
 		}
 	}
+	res.Trials = int(o.trials)
 	res.After = d.HPWL()
 	if sp != nil {
 		sp.Add("swaps", int64(res.Swaps))
 		sp.Add("reorders", int64(res.Reorders))
 		sp.Add("shifts", int64(res.Shifts))
+		sp.Add("trials", int64(res.Trials))
+		sp.Add("workers", int64(res.Workers))
 		sp.End()
 		opt.Obs.Log().Debug("detailed placement done",
-			"passes", opt.Passes, "swaps", res.Swaps, "reorders", res.Reorders,
-			"shifts", res.Shifts, "hpwl_before", res.Before, "hpwl_after", res.After)
+			"passes", opt.Passes, "workers", res.Workers, "trials", res.Trials,
+			"swaps", res.Swaps, "reorders", res.Reorders, "shifts", res.Shifts,
+			"hpwl_before", res.Before, "hpwl_after", res.After)
 	}
 	return res
 }
@@ -109,7 +137,121 @@ func Optimize(d *db.Design, opt Options) Result {
 type optimizer struct {
 	d         *db.Design
 	opt       Options
+	workers   int
 	obstacles []geom.Rect
+
+	cache   *incr.BBoxCache
+	anchors *incr.Anchors
+	states  []*workerState
+
+	cells      []int     // movable std cells, ascending index
+	cellRegion []int     // CellRegion per design cell, precomputed
+	cellW      []float64 // oriented cell dims, precomputed (orientation is
+	cellH      []float64 // fixed during detailed placement)
+	cellClass  []int32   // swap-compatibility class: same (W, H, region)
+	perms      [][]int
+
+	trials int64
+
+	// Row scratch, reused across passes: cells grouped by row y, each row
+	// sorted by x.
+	rows    map[float64][]int
+	rowYs   []float64
+	rowList [][]int
+
+	idx       bucketIndex
+	swapProps []swapProposal
+}
+
+// workerState is the per-worker scratch of the propose phase: an
+// evaluator over the shared cache plus a trial counter that is folded
+// into the optimizer total after the parallel section.
+type workerState struct {
+	eval      *incr.DeltaEval
+	order     []int // permutation scratch for the reorder scan
+	bestOrder []int
+	groupPos  []geom.Point // window-slot positions for the group pricing
+	trials    int64
+}
+
+func newOptimizer(d *db.Design, opt Options) *optimizer {
+	o := &optimizer{d: d, opt: opt, workers: par.Workers(opt.Workers)}
+	o.cellRegion = make([]int, len(d.Cells))
+	o.cellW = make([]float64, len(d.Cells))
+	o.cellH = make([]float64, len(d.Cells))
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
+			o.obstacles = append(o.obstacles, c.Rect())
+		}
+		if c.Movable() && c.Kind == db.StdCell {
+			o.cells = append(o.cells, ci)
+		}
+		o.cellRegion[ci] = d.CellRegion(ci)
+		o.cellW[ci] = c.W()
+		o.cellH[ci] = c.H()
+	}
+	// Two cells may swap iff they have the same footprint and the same
+	// region (same footprint + legal placement means each lands exactly on
+	// the other's rect, so same-region is the whole fence condition; the
+	// commit phase still re-checks exactly). One int compare per candidate
+	// replaces the W/H/region triple.
+	o.cellClass = make([]int32, len(d.Cells))
+	type classKey struct {
+		w, h float64
+		rg   int
+	}
+	classes := make(map[classKey]int32)
+	for _, ci := range o.cells {
+		key := classKey{o.cellW[ci], o.cellH[ci], o.cellRegion[ci]}
+		id, ok := classes[key]
+		if !ok {
+			id = int32(len(classes))
+			classes[key] = id
+		}
+		o.cellClass[ci] = id
+	}
+	o.perms = permutations(opt.WindowSize)
+	o.cache = incr.New(d)
+	o.anchors = o.cache.NewAnchors()
+	return o
+}
+
+// buildAnchors refreshes every movable cell's anchor boxes against the
+// frozen pre-pass state (cells are independent, so the build fans out).
+func (o *optimizer) buildAnchors() {
+	par.For(len(o.cells), o.workers, func(i int) { o.anchors.BuildCell(o.cells[i]) })
+}
+
+// state returns worker k's scratch, growing the pool on demand.
+func (o *optimizer) state(k int) *workerState {
+	for len(o.states) <= k {
+		o.states = append(o.states, &workerState{eval: o.cache.NewEval()})
+	}
+	return o.states[k]
+}
+
+// forItems runs the propose phase: fn(ws, i) for every i in [0, n) across
+// the optimizer's workers. fn must only read the frozen design/cache and
+// write worker-private state or its own per-item slot. Worker trial
+// counts are folded into the optimizer total before returning, so the
+// aggregate is scheduling-independent.
+func (o *optimizer) forItems(n int, fn func(ws *workerState, i int)) {
+	w := o.workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	for k := 0; k < w; k++ {
+		o.state(k)
+	}
+	par.ForWorker(n, w, func(k, i int) { fn(o.states[k], i) })
+	for k := 0; k < w; k++ {
+		o.trials += o.states[k].trials
+		o.states[k].trials = 0
+	}
 }
 
 // gapBounds narrows the free interval [left, right] for a cell occupying
@@ -130,42 +272,16 @@ func (o *optimizer) gapBounds(left, right, y, h, x float64) (float64, float64) {
 	return left, right
 }
 
-// netCost returns the summed HPWL of all nets touching any of the cells,
-// plus (when routability-aware) a congestion penalty for each cell sitting
-// in an overloaded routing tile.
-func (o *optimizer) netCost(cells ...int) float64 {
-	seen := map[int]bool{}
-	var total float64
-	for _, ci := range cells {
-		for _, pi := range o.d.Cells[ci].Pins {
-			ni := o.d.Pins[pi].Net
-			if seen[ni] {
-				continue
-			}
-			seen[ni] = true
-			w := o.d.Nets[ni].Weight
-			if w == 0 {
-				w = 1
-			}
-			total += w * o.d.NetHPWL(ni)
-		}
-		total += o.congCost(ci)
-	}
-	return total
-}
-
-// congCost is the congestion penalty of the cell's current tile: overload
-// beyond 100% utilization costs CongPenalty per unit of cell width (the
-// width proxy keeps the penalty commensurate with HPWL units).
-func (o *optimizer) congCost(ci int) float64 {
+// congCostAt is the congestion penalty of the cell centered over pos:
+// overload beyond 100% utilization costs CongPenalty per unit of cell
+// width (the width proxy keeps the penalty commensurate with HPWL units).
+func (o *optimizer) congCostAt(ci int, pos geom.Point) float64 {
 	opt := &o.opt
 	if opt.Congestion == nil || opt.CongNX <= 0 || opt.CongTileW <= 0 || opt.CongTileH <= 0 {
 		return 0
 	}
-	c := &o.d.Cells[ci]
-	ctr := c.Center()
-	tx := int((ctr.X - opt.CongOrigin.X) / opt.CongTileW)
-	ty := int((ctr.Y - opt.CongOrigin.Y) / opt.CongTileH)
+	tx := int((pos.X + o.cellW[ci]/2 - opt.CongOrigin.X) / opt.CongTileW)
+	ty := int((pos.Y + o.cellH[ci]/2 - opt.CongOrigin.Y) / opt.CongTileH)
 	ny := len(opt.Congestion) / opt.CongNX
 	if tx < 0 || ty < 0 || tx >= opt.CongNX || ty >= ny {
 		return 0
@@ -174,41 +290,31 @@ func (o *optimizer) congCost(ci int) float64 {
 	if over <= 0 {
 		return 0
 	}
-	return opt.CongPenalty * over * c.W() * 10
+	return opt.CongPenalty * over * o.cellW[ci] * 10
+}
+
+// congDelta is the change in congestion penalty of moving cell ci from
+// its current position to pos.
+func (o *optimizer) congDelta(ci int, pos geom.Point) float64 {
+	if o.opt.Congestion == nil {
+		return 0
+	}
+	return o.congCostAt(ci, pos) - o.congCostAt(ci, o.d.Cells[ci].Pos)
 }
 
 // optimalPoint returns the center of the cell's nets' bounding boxes,
-// excluding the cell's own pins — a cheap optimal-region proxy.
+// excluding the cell's own pins — a cheap optimal-region proxy. Reads
+// the anchor base boxes, so it is only valid inside a propose phase
+// that called buildAnchors against the current frozen state.
 func (o *optimizer) optimalPoint(ci int) (geom.Point, bool) {
-	d := o.d
-	minX, maxX := math.Inf(1), math.Inf(-1)
-	minY, maxY := math.Inf(1), math.Inf(-1)
-	found := false
-	for _, pi := range d.Cells[ci].Pins {
-		ni := d.Pins[pi].Net
-		for _, qi := range d.Nets[ni].Pins {
-			if d.Pins[qi].Cell == ci {
-				continue
-			}
-			p := d.PinPos(qi)
-			minX = math.Min(minX, p.X)
-			maxX = math.Max(maxX, p.X)
-			minY = math.Min(minY, p.Y)
-			maxY = math.Max(maxY, p.Y)
-			found = true
-		}
-	}
-	if !found {
-		return geom.Point{}, false
-	}
-	return geom.Point{X: (minX + maxX) / 2, Y: (minY + maxY) / 2}, true
+	return o.anchors.OptimalPoint(ci)
 }
 
-// fenceOK verifies the cell footprint against its fence (both directions:
-// members must be inside, outsiders outside every fence).
-func (o *optimizer) fenceOK(ci int, r geom.Rect) bool {
-	rg := o.d.CellRegion(ci)
-	if rg != db.NoRegion {
+// fenceOKAt verifies the cell footprint at pos against its fence (both
+// directions: members must be inside, outsiders outside every fence).
+func (o *optimizer) fenceOKAt(ci int, pos geom.Point) bool {
+	r := geom.Rect{Lo: pos, Hi: geom.Point{X: pos.X + o.cellW[ci], Y: pos.Y + o.cellH[ci]}}
+	if rg := o.cellRegion[ci]; rg != db.NoRegion {
 		return o.d.Regions[rg].Contains(r)
 	}
 	for gi := range o.d.Regions {
@@ -221,227 +327,39 @@ func (o *optimizer) fenceOK(ci int, r geom.Rect) bool {
 	return true
 }
 
-// movableStd lists movable standard cells.
-func (o *optimizer) movableStd() []int {
-	var out []int
-	for ci := range o.d.Cells {
-		c := &o.d.Cells[ci]
-		if c.Movable() && c.Kind == db.StdCell {
-			out = append(out, ci)
-		}
-	}
-	return out
-}
-
-// globalSwap exchanges same-footprint cells when that reduces HPWL.
-func (o *optimizer) globalSwap() int {
+// buildRows groups the movable std cells by row y, each row sorted by x
+// (cell index breaks ties). The map and slices are scratch reused across
+// calls; only the grouping is recomputed.
+func (o *optimizer) buildRows() {
 	d := o.d
-	cells := o.movableStd()
-	// Spatial index: bucket cells by position on a coarse grid.
-	rowH := d.RowHeight()
-	if rowH <= 0 {
-		rowH = 1
+	if o.rows == nil {
+		o.rows = make(map[float64][]int, 64)
 	}
-	bucket := rowH * o.opt.SwapRadius
-	type bkey struct{ x, y int }
-	idx := make(map[bkey][]int)
-	keyOf := func(p geom.Point) bkey {
-		return bkey{int(p.X / bucket), int(p.Y / bucket)}
+	for y, r := range o.rows {
+		o.rows[y] = r[:0]
 	}
-	for _, ci := range cells {
-		k := keyOf(d.Cells[ci].Pos)
-		idx[k] = append(idx[k], ci)
+	for _, ci := range o.cells {
+		y := d.Cells[ci].Pos.Y
+		o.rows[y] = append(o.rows[y], ci)
 	}
-	swaps := 0
-	for _, ci := range cells {
-		c := &d.Cells[ci]
-		want, ok := o.optimalPoint(ci)
-		if !ok {
-			continue
+	o.rowYs = o.rowYs[:0]
+	for y, r := range o.rows {
+		if len(r) > 0 {
+			o.rowYs = append(o.rowYs, y)
 		}
-		if want.Dist(c.Center()) < rowH {
-			continue // already near optimal
-		}
-		// Find a same-size partner near the optimal point.
-		k := keyOf(want)
-		best := -1
-		bestGain := 1e-9
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for _, cj := range idx[bkey{k.x + dx, k.y + dy}] {
-					if cj == ci {
-						continue
-					}
-					p := &d.Cells[cj]
-					if p.W() != c.W() || p.H() != c.H() {
-						continue
-					}
-					// Fence check both ways at the destination rects.
-					if !o.fenceOK(ci, p.Rect()) || !o.fenceOK(cj, c.Rect()) {
-						continue
-					}
-					before := o.netCost(ci, cj)
-					d.Cells[ci].Pos, d.Cells[cj].Pos = d.Cells[cj].Pos, d.Cells[ci].Pos
-					after := o.netCost(ci, cj)
-					d.Cells[ci].Pos, d.Cells[cj].Pos = d.Cells[cj].Pos, d.Cells[ci].Pos
-					if gain := before - after; gain > bestGain {
-						bestGain = gain
-						best = cj
-					}
-				}
+	}
+	sort.Float64s(o.rowYs)
+	o.rowList = o.rowList[:0]
+	for _, y := range o.rowYs {
+		row := o.rows[y]
+		sort.Slice(row, func(a, b int) bool {
+			if d.Cells[row[a]].Pos.X != d.Cells[row[b]].Pos.X {
+				return d.Cells[row[a]].Pos.X < d.Cells[row[b]].Pos.X
 			}
-		}
-		if best >= 0 {
-			ki := keyOf(d.Cells[ci].Pos)
-			kj := keyOf(d.Cells[best].Pos)
-			d.Cells[ci].Pos, d.Cells[best].Pos = d.Cells[best].Pos, d.Cells[ci].Pos
-			swaps++
-			if ki != kj {
-				idx[ki] = replaceIn(idx[ki], ci, best)
-				idx[kj] = replaceIn(idx[kj], best, ci)
-			}
-		}
-	}
-	return swaps
-}
-
-func replaceIn(s []int, old, new int) []int {
-	for i, v := range s {
-		if v == old {
-			s[i] = new
-			break
-		}
-	}
-	return s
-}
-
-// rowsOf groups movable std cells by row y and sorts each row by x.
-func (o *optimizer) rowsOf() map[float64][]int {
-	rows := make(map[float64][]int)
-	for _, ci := range o.movableStd() {
-		rows[o.d.Cells[ci].Pos.Y] = append(rows[o.d.Cells[ci].Pos.Y], ci)
-	}
-	for y := range rows {
-		r := rows[y]
-		sort.Slice(r, func(a, b int) bool {
-			if o.d.Cells[r[a]].Pos.X != o.d.Cells[r[b]].Pos.X {
-				return o.d.Cells[r[a]].Pos.X < o.d.Cells[r[b]].Pos.X
-			}
-			return r[a] < r[b]
+			return row[a] < row[b]
 		})
+		o.rowList = append(o.rowList, row)
 	}
-	return rows
-}
-
-// sortedRowYs returns row keys in increasing order for deterministic
-// iteration.
-func sortedRowYs(rows map[float64][]int) []float64 {
-	ys := make([]float64, 0, len(rows))
-	for y := range rows {
-		ys = append(ys, y)
-	}
-	sort.Float64s(ys)
-	return ys
-}
-
-// localReorder permutes windows of consecutive row cells.
-func (o *optimizer) localReorder() int {
-	d := o.d
-	rows := o.rowsOf()
-	w := o.opt.WindowSize
-	count := 0
-	for _, y := range sortedRowYs(rows) {
-		row := rows[y]
-		for s := 0; s+w <= len(row); s++ {
-			win := row[s : s+w]
-			// Window bounds: from the first cell's x to the next
-			// neighbour (or the die edge).
-			left := d.Cells[win[0]].Pos.X
-			right := d.Die.Hi.X
-			if s+w < len(row) {
-				right = d.Cells[row[s+w]].Pos.X
-			}
-			_, right = o.gapBounds(left, right, y, d.Cells[win[0]].H(), left)
-			var widthSum float64
-			for _, ci := range win {
-				widthSum += d.Cells[ci].W()
-			}
-			if widthSum > right-left+1e-9 {
-				continue
-			}
-			if o.tryPermutations(win, left, right) {
-				count++
-				// Re-sort the window slice by new x to keep row order.
-				sort.Slice(win, func(a, b int) bool {
-					return d.Cells[win[a]].Pos.X < d.Cells[win[b]].Pos.X
-				})
-			}
-		}
-	}
-	return count
-}
-
-// tryPermutations packs each permutation of win left-to-right from
-// leftBound and keeps the best legal one. Returns true when the order
-// changed.
-func (o *optimizer) tryPermutations(win []int, leftBound, rightBound float64) bool {
-	d := o.d
-	n := len(win)
-	orig := make([]geom.Point, n)
-	for i, ci := range win {
-		orig[i] = d.Cells[ci].Pos
-	}
-	apply := func(perm []int) bool {
-		x := leftBound
-		for _, pi := range perm {
-			ci := win[pi]
-			c := &d.Cells[ci]
-			c.Pos = geom.Point{X: x, Y: orig[0].Y}
-			x += c.W()
-		}
-		if x > rightBound+1e-9 {
-			return false
-		}
-		for _, pi := range perm {
-			ci := win[pi]
-			if !o.fenceOK(ci, d.Cells[ci].Rect()) {
-				return false
-			}
-		}
-		return true
-	}
-	restore := func() {
-		for i, ci := range win {
-			d.Cells[ci].Pos = orig[i]
-		}
-	}
-	bestCost := o.netCost(win...)
-	var bestPerm []int
-	perms := permutations(n)
-	for _, perm := range perms {
-		if !apply(perm) {
-			restore()
-			continue
-		}
-		c := o.netCost(win...)
-		if c < bestCost-1e-9 {
-			bestCost = c
-			bestPerm = append([]int(nil), perm...)
-		}
-		restore()
-	}
-	if bestPerm == nil {
-		return false
-	}
-	apply(bestPerm)
-	// Identity permutation may still have moved cells (gap collapsing);
-	// only count real reorders.
-	for i, pi := range bestPerm {
-		if pi != i {
-			return true
-		}
-	}
-	return true
 }
 
 // permutations returns all permutations of [0, n).
@@ -461,47 +379,4 @@ func permutations(n int) [][]int {
 		}
 	}
 	return out
-}
-
-// rowShift slides every cell to its net-optimal x within its free gap.
-func (o *optimizer) rowShift() int {
-	d := o.d
-	rows := o.rowsOf()
-	count := 0
-	for _, y := range sortedRowYs(rows) {
-		row := rows[y]
-		for i, ci := range row {
-			c := &d.Cells[ci]
-			left := d.Die.Lo.X
-			if i > 0 {
-				p := &d.Cells[row[i-1]]
-				left = p.Pos.X + p.W()
-			}
-			right := d.Die.Hi.X
-			if i+1 < len(row) {
-				right = d.Cells[row[i+1]].Pos.X
-			}
-			left, right = o.gapBounds(left, right, y, c.H(), c.Pos.X)
-			if right-left < c.W() {
-				continue
-			}
-			want, ok := o.optimalPoint(ci)
-			if !ok {
-				continue
-			}
-			targetX := math.Max(left, math.Min(want.X-c.W()/2, right-c.W()))
-			if math.Abs(targetX-c.Pos.X) < 1e-9 {
-				continue
-			}
-			oldPos := c.Pos
-			before := o.netCost(ci)
-			c.Pos = geom.Point{X: targetX, Y: oldPos.Y}
-			if !o.fenceOK(ci, c.Rect()) || o.netCost(ci) >= before-1e-9 {
-				c.Pos = oldPos
-				continue
-			}
-			count++
-		}
-	}
-	return count
 }

@@ -20,11 +20,10 @@ func (o *optimizer) independentSetMatching(setSize int) int {
 	if setSize < 2 {
 		setSize = 8
 	}
-	cells := o.movableStd()
 	// Group by footprint.
 	type dims struct{ w, h float64 }
 	groups := map[dims][]int{}
-	for _, ci := range cells {
+	for _, ci := range o.cells {
 		c := &d.Cells[ci]
 		groups[dims{c.W(), c.H()}] = append(groups[dims{c.W(), c.H()}], ci)
 	}
@@ -90,6 +89,11 @@ func (o *optimizer) independentSetMatching(setSize int) int {
 
 // matchSet optimally permutes the given independent same-footprint cells
 // over their current slots. Returns true when the assignment changed.
+// The cost matrix holds exact deltas from DeltaEval — cost[i][j] is the
+// cost change of moving cell i alone to slot j, which is also its cost
+// under any joint assignment because the set shares no nets — and adding
+// per-row constants does not change the optimal assignment, so deltas
+// and absolute costs yield the same answer.
 func (o *optimizer) matchSet(set []int) bool {
 	d := o.d
 	n := len(set)
@@ -97,42 +101,43 @@ func (o *optimizer) matchSet(set []int) bool {
 	for i, ci := range set {
 		slots[i] = d.Cells[ci].Pos
 	}
-	// Cost matrix: HPWL of cell i's nets with the cell at slot j. Since
-	// the set is independent, costs do not interact.
+	e := o.state(0).eval
 	cost := make([][]float64, n)
 	for i, ci := range set {
 		cost[i] = make([]float64, n)
-		orig := d.Cells[ci].Pos
 		for j := range slots {
-			d.Cells[ci].Pos = slots[j]
-			if !o.fenceOK(ci, d.Cells[ci].Rect()) {
+			if j == i {
+				continue // staying put costs zero by construction
+			}
+			if !o.fenceOKAt(ci, slots[j]) {
 				cost[i][j] = math.Inf(1)
 				continue
 			}
-			cost[i][j] = o.netCost(ci)
+			o.trials++
+			e.Reset()
+			e.Stage(ci, slots[j])
+			cost[i][j] = e.Delta() + o.congDelta(ci, slots[j])
 		}
-		d.Cells[ci].Pos = orig
 	}
 	assign := hungarian(cost)
 	// Reject if the solver was forced through a forbidden pair, or if
-	// nothing moved.
+	// nothing moved, or if the total delta is not a strict improvement.
 	changed := false
-	var before, after float64
+	var total float64
 	for i := range set {
 		if math.IsInf(cost[i][assign[i]], 1) {
 			return false
 		}
-		before += cost[i][i]
-		after += cost[i][assign[i]]
+		total += cost[i][assign[i]]
 		if assign[i] != i {
 			changed = true
 		}
 	}
-	if !changed || after >= before-1e-9 {
+	if !changed || total >= -eps {
 		return false
 	}
 	for i, ci := range set {
-		d.Cells[ci].Pos = slots[assign[i]]
+		o.cache.Move(ci, slots[assign[i]])
 	}
 	return true
 }
@@ -141,20 +146,15 @@ func (o *optimizer) matchSet(set []int) bool {
 // matching each round.
 func OptimizeWithMatching(d *db.Design, opt Options) Result {
 	opt = opt.withDefaults()
-	o := &optimizer{d: d, opt: opt}
-	for ci := range d.Cells {
-		c := &d.Cells[ci]
-		if !c.Movable() && c.Kind != db.Terminal && c.Area() > 0 {
-			o.obstacles = append(o.obstacles, c.Rect())
-		}
-	}
-	res := Result{Before: d.HPWL()}
+	o := newOptimizer(d, opt)
+	res := Result{Before: d.HPWL(), Workers: o.workers}
 	for p := 0; p < opt.Passes; p++ {
 		res.Swaps += o.globalSwap()
 		res.Swaps += o.independentSetMatching(8)
 		res.Reorders += o.localReorder()
 		res.Shifts += o.rowShift()
 	}
+	res.Trials = int(o.trials)
 	res.After = d.HPWL()
 	return res
 }

@@ -1,0 +1,175 @@
+package dp
+
+import (
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/incr"
+)
+
+// bucketIndex is a reusable uniform-grid spatial index over cell
+// positions: the partner scan of global swap looks up the 3×3 bucket
+// neighbourhood around a cell's optimal point. Rebuilt per pass into the
+// same backing storage, so steady-state passes allocate nothing.
+type bucketIndex struct {
+	origin  geom.Point
+	inv     float64
+	nx, ny  int
+	buckets [][]int
+}
+
+// build re-indexes the given cells at their current positions on a grid
+// of the given bucket size.
+func (b *bucketIndex) build(d *db.Design, cells []int, size float64) {
+	if size <= 0 {
+		size = 1
+	}
+	b.origin = d.Die.Lo
+	b.inv = 1 / size
+	b.nx = int(d.Die.W()*b.inv) + 1
+	b.ny = int(d.Die.H()*b.inv) + 1
+	n := b.nx * b.ny
+	if cap(b.buckets) < n {
+		b.buckets = append(b.buckets[:cap(b.buckets)], make([][]int, n-cap(b.buckets))...)
+	}
+	b.buckets = b.buckets[:n]
+	for i := range b.buckets {
+		b.buckets[i] = b.buckets[i][:0]
+	}
+	for _, ci := range cells {
+		bx, by := b.key(d.Cells[ci].Pos)
+		b.buckets[by*b.nx+bx] = append(b.buckets[by*b.nx+bx], ci)
+	}
+}
+
+// key maps a point to its bucket coordinates, clamped onto the grid.
+func (b *bucketIndex) key(p geom.Point) (int, int) {
+	bx := int((p.X - b.origin.X) * b.inv)
+	by := int((p.Y - b.origin.Y) * b.inv)
+	if bx < 0 {
+		bx = 0
+	} else if bx >= b.nx {
+		bx = b.nx - 1
+	}
+	if by < 0 {
+		by = 0
+	} else if by >= b.ny {
+		by = b.ny - 1
+	}
+	return bx, by
+}
+
+// at returns the bucket's cells, or nil off-grid.
+func (b *bucketIndex) at(bx, by int) []int {
+	if bx < 0 || by < 0 || bx >= b.nx || by >= b.ny {
+		return nil
+	}
+	return b.buckets[by*b.nx+bx]
+}
+
+// swapProposal is one cell's chosen partner from the propose phase; a
+// negative partner means no improving swap was found.
+type swapProposal struct {
+	partner int
+}
+
+// globalSwap exchanges same-footprint cells when that reduces cost.
+// Propose: every cell independently scans the bucket neighbourhood of its
+// optimal point against the frozen pre-pass state. Commit: proposals are
+// re-validated and applied serially in cell order.
+func (o *optimizer) globalSwap() int {
+	d := o.d
+	rowH := d.RowHeight()
+	if rowH <= 0 {
+		rowH = 1
+	}
+	o.idx.build(d, o.cells, rowH*o.opt.SwapRadius)
+	o.buildAnchors()
+	if cap(o.swapProps) < len(o.cells) {
+		o.swapProps = make([]swapProposal, len(o.cells))
+	}
+	props := o.swapProps[:len(o.cells)]
+	hasCong := o.opt.Congestion != nil
+	o.forItems(len(o.cells), func(ws *workerState, i int) {
+		props[i] = swapProposal{partner: -1}
+		ci := o.cells[i]
+		c := &d.Cells[ci]
+		class := o.cellClass[ci]
+		want, ok := o.optimalPoint(ci)
+		if !ok {
+			return
+		}
+		dx := want.X - (c.Pos.X + o.cellW[ci]/2)
+		dy := want.Y - (c.Pos.Y + o.cellH[ci]/2)
+		if dx*dx+dy*dy < rowH*rowH {
+			return // already near optimal
+		}
+		bx, by := o.idx.key(want)
+		best, bestGain := -1, eps
+		mrCi := o.anchors.MaxGain(ci)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				for _, cj := range o.idx.at(bx+dx, by+dy) {
+					if cj == ci || o.cellClass[cj] != class {
+						continue
+					}
+					ws.trials++
+					// Admissible prune: no single-cell move beats its
+					// MaxGain bound, so a net-disjoint pair whose combined
+					// bounds cannot top the best gain so far cannot win.
+					// (Shared-net pairs can beat the sum — e.g. a two-pin
+					// net between them collapses — so they are exempt.)
+					if !hasCong && mrCi+o.anchors.MaxGain(cj) <= bestGain &&
+						!o.anchors.SharesNet(ci, cj) {
+						continue
+					}
+					gain := -o.anchors.SwapDelta(ci, cj)
+					if hasCong {
+						gain -= o.congDelta(ci, d.Cells[cj].Pos) + o.congDelta(cj, c.Pos)
+					}
+					if gain > bestGain {
+						bestGain, best = gain, cj
+					}
+				}
+			}
+		}
+		props[i].partner = best
+	})
+	// Serial commit in cell order, re-validated against the live state.
+	swaps := 0
+	ws := o.state(0)
+	for i := range props {
+		cj := props[i].partner
+		if cj < 0 {
+			continue
+		}
+		ci := o.cells[i]
+		if !o.fenceOKAt(ci, d.Cells[cj].Pos) || !o.fenceOKAt(cj, d.Cells[ci].Pos) {
+			continue
+		}
+		o.trials++
+		if o.swapGain(ws.eval, ci, cj) <= eps {
+			continue
+		}
+		pi, pj := d.Cells[ci].Pos, d.Cells[cj].Pos
+		o.cache.Move(ci, pj)
+		o.cache.Move(cj, pi)
+		swaps++
+	}
+	return swaps
+}
+
+// swapGain is the exact cost reduction (weighted HPWL plus congestion) of
+// exchanging the two cells' current positions; positive means the swap
+// helps. Shared nets between the pair are handled exactly by the staged
+// evaluation.
+func (o *optimizer) swapGain(e *incr.DeltaEval, ci, cj int) float64 {
+	d := o.d
+	pi, pj := d.Cells[ci].Pos, d.Cells[cj].Pos
+	e.Reset()
+	e.Stage(ci, pj)
+	e.Stage(cj, pi)
+	delta := e.Delta()
+	delta += o.congDelta(ci, pj)
+	delta += o.congDelta(cj, pi)
+	return -delta
+}

@@ -1,0 +1,432 @@
+package incr
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+var inf = math.Inf(1)
+
+// Anchors precomputes, for every cell, each incident net's bounding box
+// *without that cell's pins*, against a frozen snapshot of the design.
+// Scoring a single-cell move then costs only insertions — no boundary
+// removal, no rescan — and a swap of two cells that share no net is the
+// sum of two single-cell scores. This turns the dominant cost of the
+// global-swap propose scan (which evaluates many candidate partners per
+// cell against the same frozen state) from remove+rescan per candidate
+// into a handful of min/max updates.
+//
+// Nets that cannot change a rigid single-cell move's cost — fewer than
+// two pins, or all pins on one cell (the box just translates) — are
+// excluded from the topology at construction.
+//
+// Lifecycle: NewAnchors once (topology is static), then BuildCell per
+// cell of interest at the start of each propose phase (cells are
+// independent — build in parallel), then any number of concurrent
+// read-only MoveDelta calls until the next commit invalidates the frozen
+// state.
+type Anchors struct {
+	c *BBoxCache
+
+	nets [][]int32 // per cell: distinct scoring-relevant incident nets
+
+	// Flattened per-cell entries, pin-major addressable: cell ci owns
+	// ents[start[ci]:start[ci+1]], and pinEnt maps each design pin to its
+	// cell's entry (relative index; -1 when the pin's net is excluded).
+	start  []int32
+	ents   []anchorEnt
+	pinEnt []int32
+
+	// maxRed[ci] bounds the cost reduction any single-cell move of ci can
+	// achieve: no net can shrink below its base (remaining-pins) box.
+	maxRed []float64
+
+	// sig[ci] is a 64-bit Bloom signature of the cell's scoring-relevant
+	// nets: sig[ci]&sig[cj] == 0 proves the pair is net-disjoint, which
+	// holds for the overwhelming majority of swap candidates and lets
+	// them skip every per-entry shared-net scan.
+	sig []uint64
+}
+
+// mmBox is a counts-free bounding box: the anchored base only ever gains
+// points after the build, so the extremes are all MoveDelta reads.
+type mmBox struct {
+	minX, maxX, minY, maxY float64
+}
+
+func (b *mmBox) grow(p geom.Point) {
+	b.minX = min(b.minX, p.X)
+	b.maxX = max(b.maxX, p.X)
+	b.minY = min(b.minY, p.Y)
+	b.maxY = max(b.maxY, p.Y)
+}
+
+func (b *mmBox) hpwl() float64 {
+	return (b.maxX - b.minX) + (b.maxY - b.minY)
+}
+
+// anchorEnt is one (cell, net) anchor: the base extremes plus the
+// frozen-state cost term they are scored against. offLo/offHi are the
+// corners of the cell's pin-offset bounding box on this net: growing the
+// base with pos+offLo and pos+offHi is exactly growing it with every pin
+// at pos, so scoring needs no per-pin loop.
+type anchorEnt struct {
+	net          int32
+	w            float64 // net weight
+	sub          float64 // w × cached-box HPWL at build time
+	b            mmBox   // cached box minus the cell's pins
+	offLo, offHi geom.Point
+}
+
+// NewAnchors allocates anchors over the cache's design.
+func (c *BBoxCache) NewAnchors() *Anchors {
+	d := c.d
+	a := &Anchors{
+		c:      c,
+		nets:   make([][]int32, len(d.Cells)),
+		start:  make([]int32, len(d.Cells)+1),
+		pinEnt: make([]int32, len(d.Pins)),
+		maxRed: make([]float64, len(d.Cells)),
+	}
+	// A net matters only when it has ≥ 2 pins on ≥ 2 distinct cells.
+	spans := make([]bool, len(d.Nets))
+	for ni := range d.Nets {
+		pins := d.Nets[ni].Pins
+		for _, pi := range pins[1:] {
+			if d.Pins[pi].Cell != d.Pins[pins[0]].Cell {
+				spans[ni] = true
+				break
+			}
+		}
+	}
+	for ci := range d.Cells {
+		a.start[ci] = int32(len(a.ents))
+		for _, pi := range d.Cells[ci].Pins {
+			ni := int32(d.Pins[pi].Net)
+			if !spans[ni] {
+				a.pinEnt[pi] = -1
+				continue
+			}
+			k := int32(-1)
+			for j, m := range a.nets[ci] {
+				if m == ni {
+					k = int32(j)
+					break
+				}
+			}
+			if k < 0 {
+				k = int32(len(a.nets[ci]))
+				a.nets[ci] = append(a.nets[ci], ni)
+				a.ents = append(a.ents, anchorEnt{net: ni})
+			}
+			a.pinEnt[pi] = k
+		}
+	}
+	a.start[len(d.Cells)] = int32(len(a.ents))
+	a.sig = make([]uint64, len(d.Cells))
+	for ci := range d.Cells {
+		var s uint64
+		for _, ni := range a.nets[ci] {
+			s |= 1 << (uint(ni) & 63)
+		}
+		a.sig[ci] = s
+	}
+	return a
+}
+
+// BuildCell refreshes cell ci's base boxes from the cache's current
+// state. Must not race with cache mutation; distinct cells may build
+// concurrently.
+func (a *Anchors) BuildCell(ci int) {
+	c := a.c
+	d := c.d
+	ents := a.ents[a.start[ci]:a.start[ci+1]]
+	if len(ents) == 0 {
+		return
+	}
+	// Remove the cell's pins from count-tracking copies of the cached
+	// boxes; a failed remove (the pin was a sole boundary extreme) flags
+	// the entry for a rescan, via nMinX as the stale marker.
+	var scratch [16]box
+	var boxes []box
+	if len(ents) <= len(scratch) {
+		boxes = scratch[:len(ents)]
+	} else {
+		boxes = make([]box, len(ents))
+	}
+	for k := range ents {
+		boxes[k] = c.boxes[ents[k].net]
+	}
+	for k := range ents {
+		ents[k].offLo = geom.Point{X: inf, Y: inf}
+		ents[k].offHi = geom.Point{X: -inf, Y: -inf}
+	}
+	pos := d.Cells[ci].Pos
+	for _, pi := range d.Cells[ci].Pins {
+		k := a.pinEnt[pi]
+		if k < 0 {
+			continue
+		}
+		off := c.offs[pi]
+		en := &ents[k]
+		en.offLo.X = min(en.offLo.X, off.X)
+		en.offLo.Y = min(en.offLo.Y, off.Y)
+		en.offHi.X = max(en.offHi.X, off.X)
+		en.offHi.Y = max(en.offHi.Y, off.Y)
+		if boxes[k].nMinX >= 0 && !boxes[k].remove(pos.Add(off)) {
+			boxes[k].nMinX = -1
+		}
+	}
+	var maxRed float64
+	for k := range ents {
+		en := &ents[k]
+		ni := int(en.net)
+		en.w = c.weight[ni]
+		en.sub = en.w * c.boxes[ni].hpwl()
+		if boxes[k].nMinX >= 0 {
+			b := &boxes[k]
+			en.b = mmBox{minX: b.minX, maxX: b.maxX, minY: b.minY, maxY: b.maxY}
+		} else {
+			b := mmBox{minX: inf, maxX: -inf, minY: inf, maxY: -inf}
+			for _, pi := range d.Nets[ni].Pins {
+				if d.Pins[pi].Cell == ci {
+					continue
+				}
+				b.grow(d.Cells[d.Pins[pi].Cell].Pos.Add(c.offs[pi]))
+			}
+			en.b = b
+		}
+		maxRed += en.sub - en.w*en.b.hpwl()
+	}
+	a.maxRed[ci] = maxRed
+}
+
+// MaxGain bounds the cost reduction any move of cell ci alone can
+// achieve against the frozen state (each net is floored at its base
+// box). Use it to prune candidates that cannot beat a known gain.
+func (a *Anchors) MaxGain(ci int) float64 { return a.maxRed[ci] }
+
+// OptimalPoint returns the center of the bounding box of every other
+// cell's pins on ci's nets — the classic optimal-region proxy — as the
+// union of the anchor base boxes, in O(incident nets) instead of
+// O(pins of incident nets). ok is false when no net connects ci to
+// another cell. Valid against the frozen state BuildCell last captured.
+func (a *Anchors) OptimalPoint(ci int) (geom.Point, bool) {
+	ents := a.ents[a.start[ci]:a.start[ci+1]]
+	if len(ents) == 0 {
+		return geom.Point{}, false
+	}
+	u := ents[0].b
+	for k := 1; k < len(ents); k++ {
+		b := &ents[k].b
+		u.minX = min(u.minX, b.minX)
+		u.maxX = max(u.maxX, b.maxX)
+		u.minY = min(u.minY, b.minY)
+		u.maxY = max(u.maxY, b.maxY)
+	}
+	return geom.Point{X: (u.minX + u.maxX) / 2, Y: (u.minY + u.maxY) / 2}, true
+}
+
+// MoveDelta returns the exact change in total weighted HPWL of moving
+// cell ci to pos, against the frozen state BuildCell last captured.
+// Read-only and allocation-free; safe to call from any goroutine.
+func (a *Anchors) MoveDelta(ci int, pos geom.Point) float64 {
+	ents := a.ents[a.start[ci]:a.start[ci+1]]
+	var delta float64
+	for k := range ents {
+		en := &ents[k]
+		b := en.b
+		b.grow(pos.Add(en.offLo))
+		if en.offHi != en.offLo {
+			b.grow(pos.Add(en.offHi))
+		}
+		delta += en.w*b.hpwl() - en.sub
+	}
+	return delta
+}
+
+// SwapDelta returns the exact change in total weighted HPWL of
+// exchanging the two cells' current positions, against the frozen state.
+// Nets touching only one of the pair score insert-only from that cell's
+// anchor; nets shared by both are rescanned with both overrides applied
+// (exactly, and counted once). Read-only; safe to call concurrently.
+func (a *Anchors) SwapDelta(ci, cj int) float64 {
+	c := a.c
+	d := c.d
+	pi, pj := d.Cells[ci].Pos, d.Cells[cj].Pos
+	if a.sig[ci]&a.sig[cj] == 0 {
+		// Provably net-disjoint: the swap is two independent moves.
+		return a.MoveDelta(ci, pj) + a.MoveDelta(cj, pi)
+	}
+	netsI, netsJ := a.nets[ci], a.nets[cj]
+	var delta float64
+	entsI := a.ents[a.start[ci]:a.start[ci+1]]
+	for k := range entsI {
+		en := &entsI[k]
+		shared := false
+		for _, nj := range netsJ {
+			if nj == en.net {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			delta += a.pairNet(int(en.net), ci, cj, pj, pi)
+			continue
+		}
+		b := en.b
+		b.grow(pj.Add(en.offLo))
+		if en.offHi != en.offLo {
+			b.grow(pj.Add(en.offHi))
+		}
+		delta += en.w*b.hpwl() - en.sub
+	}
+	entsJ := a.ents[a.start[cj]:a.start[cj+1]]
+	for k := range entsJ {
+		en := &entsJ[k]
+		shared := false
+		for _, ni := range netsI {
+			if ni == en.net {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			continue // already counted from ci's side
+		}
+		b := en.b
+		b.grow(pi.Add(en.offLo))
+		if en.offHi != en.offLo {
+			b.grow(pi.Add(en.offHi))
+		}
+		delta += en.w*b.hpwl() - en.sub
+	}
+	return delta
+}
+
+// GroupDelta returns the exact change in total weighted HPWL of moving
+// cells[i] to pos[i] simultaneously, against the frozen state. Nets
+// touching one group cell score insert-only from that cell's anchor;
+// nets touching several are rescanned with all overrides applied,
+// counted once at their lowest-index owner. The local-reorder propose
+// scan prices every window permutation this way, with no per-window
+// setup at all. Read-only; safe to call concurrently.
+func (a *Anchors) GroupDelta(cells []int, pos []geom.Point) float64 {
+	var delta float64
+	for idx, ci := range cells {
+		ents := a.ents[a.start[ci]:a.start[ci+1]]
+		var others uint64
+		for jdx, cj := range cells {
+			if jdx != idx && cj != ci {
+				others |= a.sig[cj]
+			}
+		}
+		if a.sig[ci]&others == 0 {
+			// No net reaches another group cell: pure insertions.
+			p := pos[idx]
+			for k := range ents {
+				en := &ents[k]
+				b := en.b
+				b.grow(p.Add(en.offLo))
+				if en.offHi != en.offLo {
+					b.grow(p.Add(en.offHi))
+				}
+				delta += en.w*b.hpwl() - en.sub
+			}
+			continue
+		}
+		for k := range ents {
+			en := &ents[k]
+			first, shared := true, false
+			for jdx, cj := range cells {
+				if jdx == idx || cj == ci {
+					continue
+				}
+				for _, nj := range a.nets[cj] {
+					if nj == en.net {
+						shared = true
+						if jdx < idx {
+							first = false
+						}
+						break
+					}
+				}
+				if !first {
+					break
+				}
+			}
+			if shared {
+				if first {
+					delta += a.groupNet(int(en.net), cells, pos)
+				}
+				continue
+			}
+			p := pos[idx]
+			b := en.b
+			b.grow(p.Add(en.offLo))
+			if en.offHi != en.offLo {
+				b.grow(p.Add(en.offHi))
+			}
+			delta += en.w*b.hpwl() - en.sub
+		}
+	}
+	return delta
+}
+
+// groupNet rescans one net with every group cell overridden to its
+// trial position and returns its weighted HPWL change from the cached
+// box.
+func (a *Anchors) groupNet(ni int, cells []int, pos []geom.Point) float64 {
+	c := a.c
+	d := c.d
+	b := mmBox{minX: inf, maxX: -inf, minY: inf, maxY: -inf}
+	for _, pin := range d.Nets[ni].Pins {
+		cell := d.Pins[pin].Cell
+		p := d.Cells[cell].Pos
+		for j, cj := range cells {
+			if cj == cell {
+				p = pos[j]
+				break
+			}
+		}
+		b.grow(p.Add(c.offs[pin]))
+	}
+	return c.weight[ni] * (b.hpwl() - c.boxes[ni].hpwl())
+}
+
+// pairNet rescans one net with cell overrides (ci at posI, cj at posJ)
+// and returns its weighted HPWL change from the cached box.
+func (a *Anchors) pairNet(ni, ci, cj int, posI, posJ geom.Point) float64 {
+	c := a.c
+	d := c.d
+	b := mmBox{minX: inf, maxX: -inf, minY: inf, maxY: -inf}
+	for _, pin := range d.Nets[ni].Pins {
+		cell := d.Pins[pin].Cell
+		p := d.Cells[cell].Pos
+		if cell == ci {
+			p = posI
+		} else if cell == cj {
+			p = posJ
+		}
+		b.grow(p.Add(c.offs[pin]))
+	}
+	return c.weight[ni] * (b.hpwl() - c.boxes[ni].hpwl())
+}
+
+// SharesNet reports whether the two cells have a scoring-relevant net in
+// common (both net lists are tiny, so past the signature filter a
+// quadratic scan beats any set structure).
+func (a *Anchors) SharesNet(ci, cj int) bool {
+	if a.sig[ci]&a.sig[cj] == 0 {
+		return false
+	}
+	for _, ni := range a.nets[ci] {
+		for _, nj := range a.nets[cj] {
+			if ni == nj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package incr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// weightedHPWL recomputes the design's total weighted HPWL from scratch,
+// with the same 0→1 weight default the cache resolves.
+func weightedHPWL(c *BBoxCache) float64 {
+	d := c.d
+	var tot float64
+	for ni := range d.Nets {
+		w := d.Nets[ni].Weight
+		if w == 0 {
+			w = 1
+		}
+		tot += w * d.NetHPWL(ni)
+	}
+	return tot
+}
+
+// builtAnchors returns a design, its cache, and anchors freshly built for
+// every cell.
+func builtAnchors(t *testing.T, seed int64) (*BBoxCache, *Anchors) {
+	t.Helper()
+	d := testDesign(t, seed)
+	c := New(d)
+	a := c.NewAnchors()
+	for ci := range d.Cells {
+		a.BuildCell(ci)
+	}
+	return c, a
+}
+
+// TestAnchorsMoveDeltaMatchesRecompute pins MoveDelta against a full
+// recompute: mutate the design directly, re-sum every net, restore.
+func TestAnchorsMoveDeltaMatchesRecompute(t *testing.T) {
+	c, a := builtAnchors(t, 31)
+	d := c.d
+	rng := rand.New(rand.NewSource(31))
+	before := weightedHPWL(c)
+	movable := d.Movable()
+	for trial := 0; trial < 200; trial++ {
+		ci := movable[rng.Intn(len(movable))]
+		to := geom.Point{
+			X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+			Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+		}
+		got := a.MoveDelta(ci, to)
+		old := d.Cells[ci].Pos
+		d.Cells[ci].Pos = to
+		want := weightedHPWL(c) - before
+		d.Cells[ci].Pos = old
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: MoveDelta(%d, %v) = %v, recompute %v", trial, ci, to, got, want)
+		}
+	}
+}
+
+// TestAnchorsSwapDeltaMatchesRecompute pins SwapDelta — both the
+// net-disjoint fast path and the shared-net rescan — against a full
+// recompute of the exchanged placement.
+func TestAnchorsSwapDeltaMatchesRecompute(t *testing.T) {
+	c, a := builtAnchors(t, 32)
+	d := c.d
+	rng := rand.New(rand.NewSource(32))
+	before := weightedHPWL(c)
+	movable := d.Movable()
+	shared, disjoint := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		ci := movable[rng.Intn(len(movable))]
+		cj := movable[rng.Intn(len(movable))]
+		if ci == cj {
+			continue
+		}
+		if a.SharesNet(ci, cj) {
+			shared++
+		} else {
+			disjoint++
+		}
+		got := a.SwapDelta(ci, cj)
+		pi, pj := d.Cells[ci].Pos, d.Cells[cj].Pos
+		d.Cells[ci].Pos, d.Cells[cj].Pos = pj, pi
+		want := weightedHPWL(c) - before
+		d.Cells[ci].Pos, d.Cells[cj].Pos = pi, pj
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: SwapDelta(%d, %d) = %v, recompute %v (shared=%v)",
+				trial, ci, cj, got, want, a.SharesNet(ci, cj))
+		}
+	}
+	if shared == 0 || disjoint == 0 {
+		t.Fatalf("want both pair kinds exercised; shared=%d disjoint=%d", shared, disjoint)
+	}
+}
+
+// TestAnchorsGroupDeltaMatchesRecompute pins GroupDelta on random
+// three-cell groups against a full recompute of the group placement.
+func TestAnchorsGroupDeltaMatchesRecompute(t *testing.T) {
+	c, a := builtAnchors(t, 33)
+	d := c.d
+	rng := rand.New(rand.NewSource(33))
+	before := weightedHPWL(c)
+	movable := d.Movable()
+	for trial := 0; trial < 200; trial++ {
+		perm := rng.Perm(len(movable))
+		cells := []int{movable[perm[0]], movable[perm[1]], movable[perm[2]]}
+		pos := make([]geom.Point, len(cells))
+		for i := range pos {
+			pos[i] = geom.Point{
+				X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+				Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+			}
+		}
+		got := a.GroupDelta(cells, pos)
+		old := make([]geom.Point, len(cells))
+		for i, ci := range cells {
+			old[i] = d.Cells[ci].Pos
+			d.Cells[ci].Pos = pos[i]
+		}
+		want := weightedHPWL(c) - before
+		for i, ci := range cells {
+			d.Cells[ci].Pos = old[i]
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: GroupDelta(%v) = %v, recompute %v", trial, cells, got, want)
+		}
+	}
+}
+
+// TestAnchorsOptimalPointMatchesScan pins OptimalPoint against the direct
+// scan over every other-cell pin of the cell's nets.
+func TestAnchorsOptimalPointMatchesScan(t *testing.T) {
+	c, a := builtAnchors(t, 34)
+	d := c.d
+	for ci := range d.Cells {
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		found := false
+		for _, pi := range d.Cells[ci].Pins {
+			for _, qi := range d.Nets[d.Pins[pi].Net].Pins {
+				if d.Pins[qi].Cell == ci {
+					continue
+				}
+				p := c.PinPos(qi)
+				minX, maxX = min(minX, p.X), max(maxX, p.X)
+				minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+				found = true
+			}
+		}
+		got, ok := a.OptimalPoint(ci)
+		if ok != found {
+			t.Fatalf("cell %d: OptimalPoint ok = %v, scan found = %v", ci, ok, found)
+		}
+		if !found {
+			continue
+		}
+		want := geom.Point{X: (minX + maxX) / 2, Y: (minY + maxY) / 2}
+		if math.Abs(got.X-want.X) > 1e-9 || math.Abs(got.Y-want.Y) > 1e-9 {
+			t.Fatalf("cell %d: OptimalPoint = %v, scan center %v", ci, got, want)
+		}
+	}
+}
+
+// TestAnchorsMaxGainBoundsMoves checks the admissible bound: no single
+// move of a cell may reduce cost by more than MaxGain.
+func TestAnchorsMaxGainBoundsMoves(t *testing.T) {
+	c, a := builtAnchors(t, 35)
+	d := c.d
+	rng := rand.New(rand.NewSource(35))
+	movable := d.Movable()
+	for trial := 0; trial < 500; trial++ {
+		ci := movable[rng.Intn(len(movable))]
+		to := geom.Point{
+			X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+			Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+		}
+		if gain := -a.MoveDelta(ci, to); gain > a.MaxGain(ci)+1e-9 {
+			t.Fatalf("trial %d: move of %d gains %v, exceeding MaxGain %v", trial, ci, gain, a.MaxGain(ci))
+		}
+	}
+}
+
+// TestAnchorsTrackCacheCommits rebuilds after committed cache moves and
+// re-verifies MoveDelta exactness against the new frozen state.
+func TestAnchorsTrackCacheCommits(t *testing.T) {
+	c, a := builtAnchors(t, 36)
+	d := c.d
+	rng := rand.New(rand.NewSource(36))
+	movable := d.Movable()
+	for round := 0; round < 5; round++ {
+		for k := 0; k < 10; k++ {
+			ci := movable[rng.Intn(len(movable))]
+			c.Move(ci, geom.Point{
+				X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+				Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+			})
+		}
+		for ci := range d.Cells {
+			a.BuildCell(ci)
+		}
+		before := weightedHPWL(c)
+		ci := movable[rng.Intn(len(movable))]
+		to := geom.Point{X: d.Die.Lo.X + rng.Float64()*d.Die.W(), Y: d.Die.Lo.Y}
+		got := a.MoveDelta(ci, to)
+		old := d.Cells[ci].Pos
+		d.Cells[ci].Pos = to
+		want := weightedHPWL(c) - before
+		d.Cells[ci].Pos = old
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("round %d: MoveDelta after commits = %v, recompute %v", round, got, want)
+		}
+	}
+}
+
+// TestAnchorScoringNoAllocs pins the scoring hot paths at zero
+// allocations.
+func TestAnchorScoringNoAllocs(t *testing.T) {
+	c, a := builtAnchors(t, 37)
+	d := c.d
+	movable := d.Movable()
+	ci, cj, ck := movable[0], movable[1], movable[2]
+	cells := []int{ci, cj, ck}
+	pos := []geom.Point{d.Cells[cj].Pos, d.Cells[ck].Pos, d.Cells[ci].Pos}
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() {
+		sink += a.MoveDelta(ci, pos[0])
+		sink += a.SwapDelta(ci, cj)
+		sink += a.GroupDelta(cells, pos)
+		sink += a.MaxGain(ck)
+	}); n != 0 {
+		t.Fatalf("anchor scoring allocates %v/op, want 0", n)
+	}
+	_ = sink
+}

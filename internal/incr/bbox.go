@@ -1,0 +1,338 @@
+// Package incr provides incremental half-perimeter wirelength bookkeeping
+// for detailed placement. The detailed-placement moves (global swap, local
+// reorder, row shift) each perturb a handful of cells and need the exact
+// change in weighted HPWL of the touched nets; recomputing every net's
+// bounding box from scratch per trial — as a naive implementation does —
+// makes the move loop O(pins-per-net) per *candidate* and dominates the
+// back end of the flow.
+//
+// BBoxCache keeps, per net, the exact bounding box of its pins plus the
+// number of pins sitting on each boundary. Moving a cell then updates each
+// incident net in O(pins-on-cell): a pin leaving a boundary decrements the
+// count, and only when a count reaches zero (the moved pin was the sole
+// extreme) is the net rescanned. Boxes are exact at all times — boundary
+// comparisons use the bitwise-identical pin-position expression the boxes
+// were built from, so there is no float drift to accumulate.
+//
+// Two evaluation paths sit on top of the cache:
+//
+//   - the transactional path (Begin / Move / Revert / Commit) mutates the
+//     design and the cache together with an undo log, for callers that
+//     commit or roll back a small group of moves;
+//   - DeltaEval is a read-only what-if evaluator: it stages hypothetical
+//     positions and returns the exact HPWL delta without touching the
+//     design or the cache. Independent DeltaEvals over a frozen design are
+//     safe to run concurrently, which is what makes the deterministic
+//     parallel propose phase of internal/dp possible.
+//
+// Both paths are allocation-free once warm (pinned by
+// TestTrialMoveNoAllocs), using the same epoch-stamped scratch-state trick
+// as the router's maze search.
+package incr
+
+import (
+	"math"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// box is one net's exact pin bounding box. The n* counts record how many
+// pins sit exactly on each boundary, so removing a non-extreme pin never
+// requires a rescan.
+type box struct {
+	minX, maxX, minY, maxY     float64
+	nMinX, nMaxX, nMinY, nMaxY int32
+}
+
+func emptyBox() box {
+	return box{
+		minX: math.Inf(1), maxX: math.Inf(-1),
+		minY: math.Inf(1), maxY: math.Inf(-1),
+	}
+}
+
+func (b *box) hpwl() float64 {
+	return (b.maxX - b.minX) + (b.maxY - b.minY)
+}
+
+// insert grows the box to cover p, maintaining boundary counts.
+func (b *box) insert(p geom.Point) {
+	if p.X < b.minX {
+		b.minX, b.nMinX = p.X, 1
+	} else if p.X == b.minX {
+		b.nMinX++
+	}
+	if p.X > b.maxX {
+		b.maxX, b.nMaxX = p.X, 1
+	} else if p.X == b.maxX {
+		b.nMaxX++
+	}
+	if p.Y < b.minY {
+		b.minY, b.nMinY = p.Y, 1
+	} else if p.Y == b.minY {
+		b.nMinY++
+	}
+	if p.Y > b.maxY {
+		b.maxY, b.nMaxY = p.Y, 1
+	} else if p.Y == b.maxY {
+		b.nMaxY++
+	}
+}
+
+// grow extends the box extremes to cover p without maintaining boundary
+// counts — for trial boxes that only ever gain points before being read.
+func (b *box) grow(p geom.Point) {
+	b.minX = min(b.minX, p.X)
+	b.maxX = max(b.maxX, p.X)
+	b.minY = min(b.minY, p.Y)
+	b.maxY = max(b.maxY, p.Y)
+}
+
+// remove drops p from the box. It returns false when p was the only pin on
+// some boundary, in which case the box is stale and the net must be
+// rescanned (any counts already decremented are discarded by the rescan).
+func (b *box) remove(p geom.Point) bool {
+	ok := true
+	if p.X == b.minX {
+		if b.nMinX--; b.nMinX == 0 {
+			ok = false
+		}
+	}
+	if p.X == b.maxX {
+		if b.nMaxX--; b.nMaxX == 0 {
+			ok = false
+		}
+	}
+	if p.Y == b.minY {
+		if b.nMinY--; b.nMinY == 0 {
+			ok = false
+		}
+	}
+	if p.Y == b.maxY {
+		if b.nMaxY--; b.nMaxY == 0 {
+			ok = false
+		}
+	}
+	return ok
+}
+
+type savedBox struct {
+	net int
+	b   box
+}
+
+type savedCell struct {
+	cell int
+	pos  geom.Point
+}
+
+// BBoxCache caches every net's exact bounding box over a design and keeps
+// the boxes in sync as cells move through it. All position changes must go
+// through Move (directly or inside a Begin/Revert-or-Commit transaction);
+// positions changed behind the cache's back require a Rebuild.
+type BBoxCache struct {
+	d      *db.Design
+	boxes  []box
+	weight []float64    // net weight with the 0→1 default resolved
+	offs   []geom.Point // per-pin orientation-resolved offset (cells do not reorient during DP)
+
+	// Transaction state: one saved box per touched net and one saved
+	// position per Move, replayed in reverse by Revert.
+	inTxn      bool
+	txnEpoch   uint32
+	netSaved   []uint32
+	savedBoxes []savedBox
+	savedCells []savedCell
+
+	// Per-move scratch: nets that lost a sole-extreme pin and need a
+	// rescan after the cell's new position lands.
+	moveEpoch uint32
+	moveDirty []uint32
+	dirty     []int
+
+	// Cost dedups nets across a cell group with an epoch-stamped seen
+	// slice (the allocation-free replacement for a per-call map).
+	seenEpoch uint32
+	seen      []uint32
+}
+
+// New builds the cache for the design's current positions and cell
+// orientations. Orientation changes behind the cache's back require a
+// Rebuild, like position changes.
+func New(d *db.Design) *BBoxCache {
+	c := &BBoxCache{
+		d:         d,
+		boxes:     make([]box, len(d.Nets)),
+		weight:    make([]float64, len(d.Nets)),
+		offs:      make([]geom.Point, len(d.Pins)),
+		netSaved:  make([]uint32, len(d.Nets)),
+		moveDirty: make([]uint32, len(d.Nets)),
+		seen:      make([]uint32, len(d.Nets)),
+	}
+	c.resolve()
+	return c
+}
+
+// resolve recomputes the per-pin oriented offsets and every box.
+func (c *BBoxCache) resolve() {
+	d := c.d
+	for pi := range d.Pins {
+		pin := &d.Pins[pi]
+		c.offs[pi] = d.Cells[pin.Cell].OrientOffset(pin.Offset)
+	}
+	for ni := range d.Nets {
+		w := d.Nets[ni].Weight
+		if w == 0 {
+			w = 1
+		}
+		c.weight[ni] = w
+		c.boxes[ni] = c.compute(ni)
+	}
+}
+
+// pinAt is pin pi's position with its cell at pos.
+func (c *BBoxCache) pinAt(pi int, pos geom.Point) geom.Point {
+	return pos.Add(c.offs[pi])
+}
+
+// PinPos is pin pi's current position, through the precomputed oriented
+// offsets — equivalent to db.Design.PinPos but without re-deriving the
+// orientation per call.
+func (c *BBoxCache) PinPos(pi int) geom.Point {
+	return c.d.Cells[c.d.Pins[pi].Cell].Pos.Add(c.offs[pi])
+}
+
+// Design returns the design the cache tracks.
+func (c *BBoxCache) Design() *db.Design { return c.d }
+
+// Rebuild recomputes every box (and oriented pin offset) from the
+// design's current state. Call it after positions or orientations changed
+// without going through Move.
+func (c *BBoxCache) Rebuild() { c.resolve() }
+
+// compute scans a net's pins into a fresh box.
+func (c *BBoxCache) compute(ni int) box {
+	b := emptyBox()
+	for _, pi := range c.d.Nets[ni].Pins {
+		b.insert(c.pinAt(pi, c.d.Cells[c.d.Pins[pi].Cell].Pos))
+	}
+	return b
+}
+
+// NetHPWL returns the net's exact half-perimeter from the cached box.
+func (c *BBoxCache) NetHPWL(ni int) float64 {
+	if len(c.d.Nets[ni].Pins) < 2 {
+		return 0
+	}
+	return c.boxes[ni].hpwl()
+}
+
+// Cost returns the summed weighted HPWL of every distinct net touching the
+// given cells, read straight from the cached boxes — O(pins on the cells),
+// no recomputation, no allocation.
+func (c *BBoxCache) Cost(cells []int) float64 {
+	bumpEpoch(&c.seenEpoch, c.seen)
+	var total float64
+	for _, ci := range cells {
+		for _, pi := range c.d.Cells[ci].Pins {
+			ni := c.d.Pins[pi].Net
+			if c.seen[ni] == c.seenEpoch {
+				continue
+			}
+			c.seen[ni] = c.seenEpoch
+			total += c.weight[ni] * c.NetHPWL(ni)
+		}
+	}
+	return total
+}
+
+// Begin opens a transaction: every Move until Revert or Commit is
+// journaled. Transactions do not nest.
+func (c *BBoxCache) Begin() {
+	if c.inTxn {
+		panic("incr: nested Begin")
+	}
+	c.inTxn = true
+	bumpEpoch(&c.txnEpoch, c.netSaved)
+	c.savedBoxes = c.savedBoxes[:0]
+	c.savedCells = c.savedCells[:0]
+}
+
+// Move places cell ci at to, updating the design position and every
+// incident net's box. Amortized O(pins-on-cell): a rescan happens only
+// when a moved pin was the sole pin on a box boundary. Outside a
+// transaction the move is permanent.
+func (c *BBoxCache) Move(ci int, to geom.Point) {
+	d := c.d
+	cell := &d.Cells[ci]
+	from := cell.Pos
+	if c.inTxn {
+		c.savedCells = append(c.savedCells, savedCell{ci, from})
+	}
+	bumpEpoch(&c.moveEpoch, c.moveDirty)
+	c.dirty = c.dirty[:0]
+	// Phase 1: journal boxes and remove the old pin points.
+	for _, pi := range cell.Pins {
+		ni := d.Pins[pi].Net
+		if c.inTxn && c.netSaved[ni] != c.txnEpoch {
+			c.netSaved[ni] = c.txnEpoch
+			c.savedBoxes = append(c.savedBoxes, savedBox{ni, c.boxes[ni]})
+		}
+		if c.moveDirty[ni] == c.moveEpoch {
+			continue // already scheduled for a rescan
+		}
+		if !c.boxes[ni].remove(from.Add(c.offs[pi])) {
+			c.moveDirty[ni] = c.moveEpoch
+			c.dirty = append(c.dirty, ni)
+		}
+	}
+	cell.Pos = to
+	// Phase 2: insert the new pin points into the still-valid boxes.
+	for _, pi := range cell.Pins {
+		ni := d.Pins[pi].Net
+		if c.moveDirty[ni] == c.moveEpoch {
+			continue
+		}
+		c.boxes[ni].insert(to.Add(c.offs[pi]))
+	}
+	// Phase 3: rescan the nets that lost a boundary (the cell's position
+	// is already updated, so the scan sees the post-move truth).
+	for _, ni := range c.dirty {
+		c.boxes[ni] = c.compute(ni)
+	}
+}
+
+// Revert undoes every Move since Begin and closes the transaction.
+func (c *BBoxCache) Revert() {
+	for i := len(c.savedCells) - 1; i >= 0; i-- {
+		s := c.savedCells[i]
+		c.d.Cells[s.cell].Pos = s.pos
+	}
+	for i := len(c.savedBoxes) - 1; i >= 0; i-- {
+		s := c.savedBoxes[i]
+		c.boxes[s.net] = s.b
+	}
+	c.savedCells = c.savedCells[:0]
+	c.savedBoxes = c.savedBoxes[:0]
+	c.inTxn = false
+}
+
+// Commit keeps every Move since Begin and closes the transaction.
+func (c *BBoxCache) Commit() {
+	c.savedCells = c.savedCells[:0]
+	c.savedBoxes = c.savedBoxes[:0]
+	c.inTxn = false
+}
+
+// bumpEpoch advances an epoch counter, clearing its stamp slice on the
+// (rare) wrap so stale stamps can never collide with a live epoch.
+func bumpEpoch(e *uint32, stamps []uint32) {
+	*e++
+	if *e == 0 {
+		for i := range stamps {
+			stamps[i] = 0
+		}
+		*e = 1
+	}
+}

@@ -1,0 +1,212 @@
+package incr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/geom"
+)
+
+// testDesign builds a small scattered design with weighted nets, macros
+// and rotated cells so the cache sees orientation-corrected pin offsets.
+func testDesign(t *testing.T, seed int64) *db.Design {
+	t.Helper()
+	d := gen.MustGenerate(gen.Config{
+		Name: "incr", Seed: seed, NumStdCells: 120, NumFixedMacros: 2,
+		NumMovableMacros: 1, NumModules: 3, NumFences: 1, NumTerminals: 8,
+		TargetUtil: 0.5,
+	})
+	rng := rand.New(rand.NewSource(seed))
+	for _, ci := range d.Movable() {
+		c := &d.Cells[ci]
+		c.SetCenter(geom.Point{
+			X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+			Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+		})
+		if c.Kind == db.StdCell && rng.Intn(4) == 0 {
+			c.Orient = db.FS
+		}
+	}
+	for ni := range d.Nets {
+		if rng.Intn(3) == 0 {
+			d.Nets[ni].Weight = 1 + rng.Float64()*2
+		}
+	}
+	return d
+}
+
+// verify cross-checks every cached box against the database recompute.
+func verify(t *testing.T, c *BBoxCache, d *db.Design, when string) {
+	t.Helper()
+	for ni := range d.Nets {
+		want := d.NetHPWL(ni)
+		got := c.NetHPWL(ni)
+		if math.Abs(want-got) > 1e-9 {
+			t.Fatalf("%s: net %d cached HPWL %v, recomputed %v", when, ni, got, want)
+		}
+	}
+}
+
+// TestCacheTracksRandomMoves drives the cache through randomized move /
+// revert / commit sequences and pins the cached boxes against
+// db.NetHPWL's full recompute after every transaction.
+func TestCacheTracksRandomMoves(t *testing.T) {
+	d := testDesign(t, 7)
+	c := New(d)
+	verify(t, c, d, "initial")
+	movable := d.Movable()
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 200; step++ {
+		n := 1 + rng.Intn(3)
+		c.Begin()
+		for k := 0; k < n; k++ {
+			ci := movable[rng.Intn(len(movable))]
+			to := geom.Point{
+				X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+				Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+			}
+			c.Move(ci, to)
+		}
+		if rng.Intn(2) == 0 {
+			c.Revert()
+		} else {
+			c.Commit()
+		}
+		verify(t, c, d, "after txn")
+	}
+}
+
+// TestRevertRestoresPositions pins that Revert rolls the design itself
+// back, including a cell moved twice in one transaction.
+func TestRevertRestoresPositions(t *testing.T) {
+	d := testDesign(t, 11)
+	c := New(d)
+	ci := d.Movable()[0]
+	orig := d.Cells[ci].Pos
+	c.Begin()
+	c.Move(ci, geom.Point{X: orig.X + 5, Y: orig.Y})
+	c.Move(ci, geom.Point{X: orig.X + 11, Y: orig.Y + 3})
+	c.Revert()
+	if d.Cells[ci].Pos != orig {
+		t.Fatalf("revert left cell at %v, want %v", d.Cells[ci].Pos, orig)
+	}
+	verify(t, c, d, "after revert")
+}
+
+// TestDeltaMatchesRecompute pins DeltaEval's exact-delta claim against a
+// brute-force before/after recompute over randomized staged move sets.
+func TestDeltaMatchesRecompute(t *testing.T) {
+	d := testDesign(t, 13)
+	c := New(d)
+	e := c.NewEval()
+	movable := d.Movable()
+	rng := rand.New(rand.NewSource(5))
+	total := func() float64 {
+		var s float64
+		for ni := range d.Nets {
+			w := d.Nets[ni].Weight
+			if w == 0 {
+				w = 1
+			}
+			s += w * d.NetHPWL(ni)
+		}
+		return s
+	}
+	for trial := 0; trial < 200; trial++ {
+		e.Reset()
+		n := 1 + rng.Intn(3)
+		staged := make(map[int]geom.Point, n)
+		for k := 0; k < n; k++ {
+			ci := movable[rng.Intn(len(movable))]
+			to := geom.Point{
+				X: d.Die.Lo.X + rng.Float64()*d.Die.W(),
+				Y: d.Die.Lo.Y + rng.Float64()*d.Die.H(),
+			}
+			e.Stage(ci, to)
+			staged[ci] = to
+		}
+		got := e.Delta()
+		before := total()
+		saved := make(map[int]geom.Point, n)
+		for ci, to := range staged {
+			saved[ci] = d.Cells[ci].Pos
+			d.Cells[ci].Pos = to
+		}
+		want := total() - before
+		for ci, pos := range saved {
+			d.Cells[ci].Pos = pos
+		}
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: delta %v, brute force %v", trial, got, want)
+		}
+	}
+}
+
+// TestTrialMoveNoAllocs pins the warm trial-move contract: staged
+// evaluation and transactional move/revert both run allocation-free once
+// the scratch state is sized (the router's epoch-stamp guarantee, applied
+// to detailed placement).
+func TestTrialMoveNoAllocs(t *testing.T) {
+	d := testDesign(t, 17)
+	c := New(d)
+	e := c.NewEval()
+	movable := d.Movable()
+	// Warm up: size every scratch buffer.
+	for i, ci := range movable {
+		to := d.Cells[ci].Pos.Add(geom.Point{X: float64(i%3) - 1, Y: 0})
+		e.Reset()
+		e.Stage(ci, to)
+		e.Delta()
+		c.Begin()
+		c.Move(ci, to)
+		c.Revert()
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		ci := movable[i%len(movable)]
+		cj := movable[(i+7)%len(movable)]
+		i++
+		pi, pj := d.Cells[ci].Pos, d.Cells[cj].Pos
+		e.Reset()
+		e.Stage(ci, pj)
+		e.Stage(cj, pi)
+		e.Delta()
+		c.Begin()
+		c.Move(ci, pj)
+		c.Move(cj, pi)
+		c.Revert()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm trial-move path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestCostMatchesWeightedSum pins Cost's distinct-net weighted sum.
+func TestCostMatchesWeightedSum(t *testing.T) {
+	d := testDesign(t, 23)
+	c := New(d)
+	cells := d.Movable()[:4]
+	got := c.Cost(cells)
+	seen := map[int]bool{}
+	var want float64
+	for _, ci := range cells {
+		for _, pi := range d.Cells[ci].Pins {
+			ni := d.Pins[pi].Net
+			if seen[ni] {
+				continue
+			}
+			seen[ni] = true
+			w := d.Nets[ni].Weight
+			if w == 0 {
+				w = 1
+			}
+			want += w * d.NetHPWL(ni)
+		}
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,142 @@
+package incr
+
+import (
+	"repro/internal/geom"
+)
+
+// DeltaEval is a read-only what-if evaluator over a BBoxCache: stage
+// hypothetical positions for a few cells, ask for the exact change in
+// total weighted HPWL, reset, repeat. It never mutates the design or the
+// cache, so any number of DeltaEvals may evaluate concurrently against a
+// frozen design — each worker of the parallel detailed-placement propose
+// phase owns one. All scratch state is epoch-stamped and reused; the warm
+// path performs no allocations.
+type DeltaEval struct {
+	c *BBoxCache
+
+	// Staged positions, epoch-stamped per cell.
+	posEpoch uint32
+	posStamp []uint32
+	pos      []geom.Point
+	cells    []int
+
+	// Per-Delta net working set: a compact slice of hypothetical boxes
+	// addressed through a per-net slot table.
+	netEpoch uint32
+	netStamp []uint32
+	netSlot  []int32
+	nets     []int
+	boxes    []box
+	dirty    []bool
+}
+
+// NewEval returns a fresh evaluator over the cache. Evaluators are not
+// safe for concurrent use with each other's owner goroutine; create one
+// per worker.
+func (c *BBoxCache) NewEval() *DeltaEval {
+	return &DeltaEval{
+		c:        c,
+		posStamp: make([]uint32, len(c.d.Cells)),
+		pos:      make([]geom.Point, len(c.d.Cells)),
+		netStamp: make([]uint32, len(c.d.Nets)),
+		netSlot:  make([]int32, len(c.d.Nets)),
+	}
+}
+
+// Reset discards all staged positions.
+func (e *DeltaEval) Reset() {
+	bumpEpoch(&e.posEpoch, e.posStamp)
+	e.cells = e.cells[:0]
+}
+
+// Stage sets a hypothetical position for cell ci; staging the same cell
+// again overrides the earlier position.
+func (e *DeltaEval) Stage(ci int, to geom.Point) {
+	if e.posStamp[ci] != e.posEpoch {
+		e.posStamp[ci] = e.posEpoch
+		e.cells = append(e.cells, ci)
+	}
+	e.pos[ci] = to
+}
+
+// posOf is the cell's position in the staged world.
+func (e *DeltaEval) posOf(ci int) geom.Point {
+	if e.posStamp[ci] == e.posEpoch {
+		return e.pos[ci]
+	}
+	return e.c.d.Cells[ci].Pos
+}
+
+// slot returns the working-set index of net ni, seeding its hypothetical
+// box from the cache on first touch.
+func (e *DeltaEval) slot(ni int) int {
+	if e.netStamp[ni] == e.netEpoch {
+		return int(e.netSlot[ni])
+	}
+	e.netStamp[ni] = e.netEpoch
+	k := len(e.boxes)
+	e.netSlot[ni] = int32(k)
+	e.nets = append(e.nets, ni)
+	e.boxes = append(e.boxes, e.c.boxes[ni])
+	e.dirty = append(e.dirty, false)
+	return k
+}
+
+// Delta returns the exact change in total weighted HPWL if every staged
+// cell moved to its staged position. The design and cache are only read.
+func (e *DeltaEval) Delta() float64 {
+	c := e.c
+	d := c.d
+	bumpEpoch(&e.netEpoch, e.netStamp)
+	e.nets = e.nets[:0]
+	e.boxes = e.boxes[:0]
+	e.dirty = e.dirty[:0]
+	// Remove the staged cells' pins from the hypothetical boxes ...
+	for _, ci := range e.cells {
+		cell := &d.Cells[ci]
+		for _, pi := range cell.Pins {
+			k := e.slot(d.Pins[pi].Net)
+			if e.dirty[k] {
+				continue
+			}
+			if !e.boxes[k].remove(cell.Pos.Add(c.offs[pi])) {
+				e.dirty[k] = true
+			}
+		}
+	}
+	// ... and re-insert them at the staged positions.
+	for _, ci := range e.cells {
+		to := e.pos[ci]
+		for _, pi := range d.Cells[ci].Pins {
+			k := int(e.netSlot[d.Pins[pi].Net])
+			if e.dirty[k] {
+				continue
+			}
+			e.boxes[k].insert(to.Add(c.offs[pi]))
+		}
+	}
+	var delta float64
+	for k, ni := range e.nets {
+		if len(d.Nets[ni].Pins) < 2 {
+			continue
+		}
+		if e.dirty[k] {
+			e.boxes[k] = e.computeStaged(ni)
+		}
+		delta += c.weight[ni] * (e.boxes[k].hpwl() - c.boxes[ni].hpwl())
+	}
+	return delta
+}
+
+// computeStaged scans a net's pins with staged overrides applied. The
+// resulting box is only ever read for its extremes, so it grows without
+// boundary counts.
+func (e *DeltaEval) computeStaged(ni int) box {
+	c := e.c
+	d := c.d
+	b := emptyBox()
+	for _, pi := range d.Nets[ni].Pins {
+		b.grow(e.posOf(d.Pins[pi].Cell).Add(c.offs[pi]))
+	}
+	return b
+}

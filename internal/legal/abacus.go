@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/geom"
+	"repro/internal/par"
 )
 
 // rowSeg is one obstacle-free interval of a placement row, tagged with the
@@ -122,16 +123,34 @@ type CellResult struct {
 	// TotalDisp and MaxDisp are Manhattan displacement stats.
 	TotalDisp float64
 	MaxDisp   float64
+	// Workers is the resolved worker count used for the parallel phases.
+	Workers int
+}
+
+// Options tunes standard-cell legalization.
+type Options struct {
+	// Workers parallelizes the per-row segment build and the per-segment
+	// finalize, resolved through par.Workers (≤ 0 selects the automatic
+	// default). The Tetris/Abacus dispatch itself is inherently serial
+	// (each insertion depends on the previous cluster state), so results
+	// are byte-identical for every worker count.
+	Workers int
 }
 
 // LegalizeCells legalizes all movable standard cells onto row segments
 // using Tetris dispatch ordered by x with Abacus row packing, honoring
 // fence domains. Macros must already be legal (and fixed).
 func LegalizeCells(d *db.Design) (CellResult, error) {
+	return LegalizeCellsOpt(d, Options{})
+}
+
+// LegalizeCellsOpt is LegalizeCells with explicit options.
+func LegalizeCellsOpt(d *db.Design, opt Options) (CellResult, error) {
 	if len(d.Rows) == 0 {
 		return CellResult{}, fmt.Errorf("legal: design %q has no rows", d.Name)
 	}
-	segs := buildSegments(d)
+	workers := par.Workers(opt.Workers)
+	segs := buildSegments(d, workers)
 	// Per-row segment index for candidate lookup.
 	rowSegs := make([][]*rowSeg, len(d.Rows))
 	for i := range segs {
@@ -160,8 +179,11 @@ func LegalizeCells(d *db.Design) (CellResult, error) {
 	})
 
 	rowH := d.RowHeight()
-	res := CellResult{}
-	wishes := make(map[int]geom.Point, len(cells))
+	res := CellResult{Workers: workers}
+	// Parallel slices (not a map) so the displacement reduction below sums
+	// in deterministic placement order.
+	wishCell := make([]int, 0, len(cells))
+	wishPos := make([]geom.Point, 0, len(cells))
 	for _, ci := range cells {
 		c := &d.Cells[ci]
 		domain := d.CellRegion(ci)
@@ -208,18 +230,22 @@ func LegalizeCells(d *db.Design) (CellResult, error) {
 			continue
 		}
 		bestSeg.insert(ci, want.X, c.W())
-		wishes[ci] = want
+		wishCell = append(wishCell, ci)
+		wishPos = append(wishPos, want)
 		res.Placed++
 	}
 	siteW := d.Rows[0].SiteWidth
 	if siteW <= 0 {
 		siteW = 1
 	}
-	for _, s := range segs {
-		s.finalize(d, siteW)
-	}
-	for ci, want := range wishes {
+	// Each segment owns a disjoint set of cells, so finalize is
+	// embarrassingly parallel and writes deterministic positions.
+	par.For(len(segs), workers, func(i int) {
+		segs[i].finalize(d, siteW)
+	})
+	for i, ci := range wishCell {
 		c := &d.Cells[ci]
+		want := wishPos[i]
 		disp := math.Abs(c.Pos.X-want.X) + math.Abs(c.Pos.Y-want.Y)
 		res.TotalDisp += disp
 		if disp > res.MaxDisp {
@@ -233,74 +259,94 @@ func LegalizeCells(d *db.Design) (CellResult, error) {
 // fence domains. Fence rectangles are assumed row-aligned (the generator
 // and reader snap them); a row piece strictly inside a fence rect belongs
 // to that fence's domain, everything else to NoRegion.
-func buildSegments(d *db.Design) []*rowSeg {
+//
+// The blocking rects are gathered once (not per row), and the per-row
+// sweep fans out over the workers: rows are independent and each writes
+// only its own slot, so the concatenated result is identical for any
+// worker count.
+func buildSegments(d *db.Design, workers int) []*rowSeg {
+	// Gather blocking rects from fixed, space-occupying cells, once.
+	var blockRects []geom.Rect
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		if c.Movable() || c.Kind == db.Terminal || c.Area() == 0 {
+			continue
+		}
+		blockRects = append(blockRects, c.Rect())
+	}
+	perRow := make([][]*rowSeg, len(d.Rows))
+	par.For(len(d.Rows), workers, func(ri int) {
+		perRow[ri] = buildRowSegments(d, ri, blockRects)
+	})
 	var segs []*rowSeg
-	for ri := range d.Rows {
-		row := &d.Rows[ri]
-		rowRect := row.Rect()
-		// Gather blocking intervals from fixed, space-occupying cells.
-		type iv struct{ a, b float64 }
-		var blocks []iv
-		for ci := range d.Cells {
-			c := &d.Cells[ci]
-			if c.Movable() || c.Kind == db.Terminal || c.Area() == 0 {
+	for _, rs := range perRow {
+		segs = append(segs, rs...)
+	}
+	return segs
+}
+
+// buildRowSegments computes one row's obstacle-free, fence-split segments.
+func buildRowSegments(d *db.Design, ri int, blockRects []geom.Rect) []*rowSeg {
+	var segs []*rowSeg
+	row := &d.Rows[ri]
+	rowRect := row.Rect()
+	// Gather blocking intervals overlapping this row's band.
+	type iv struct{ a, b float64 }
+	var blocks []iv
+	for _, r := range blockRects {
+		if r.Lo.Y < rowRect.Hi.Y && r.Hi.Y > rowRect.Lo.Y {
+			blocks = append(blocks, iv{r.Lo.X, r.Hi.X})
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].a < blocks[j].a })
+	// Sweep to produce free intervals.
+	var free []iv
+	cursor := rowRect.Lo.X
+	for _, b := range blocks {
+		if b.a > cursor {
+			free = append(free, iv{cursor, math.Min(b.a, rowRect.Hi.X)})
+		}
+		if b.b > cursor {
+			cursor = b.b
+		}
+		if cursor >= rowRect.Hi.X {
+			break
+		}
+	}
+	if cursor < rowRect.Hi.X {
+		free = append(free, iv{cursor, rowRect.Hi.X})
+	}
+	// Split each free interval at fence boundaries.
+	for _, f := range free {
+		cuts := []float64{f.a, f.b}
+		for gi := range d.Regions {
+			for _, fr := range d.Regions[gi].Rects {
+				if fr.Lo.Y <= rowRect.Lo.Y && fr.Hi.Y >= rowRect.Hi.Y {
+					if fr.Lo.X > f.a && fr.Lo.X < f.b {
+						cuts = append(cuts, fr.Lo.X)
+					}
+					if fr.Hi.X > f.a && fr.Hi.X < f.b {
+						cuts = append(cuts, fr.Hi.X)
+					}
+				}
+			}
+		}
+		sort.Float64s(cuts)
+		for i := 0; i+1 < len(cuts); i++ {
+			a, b := cuts[i], cuts[i+1]
+			if b-a < 1e-9 {
 				continue
 			}
-			r := c.Rect()
-			if r.Lo.Y < rowRect.Hi.Y && r.Hi.Y > rowRect.Lo.Y {
-				blocks = append(blocks, iv{r.Lo.X, r.Hi.X})
-			}
-		}
-		sort.Slice(blocks, func(i, j int) bool { return blocks[i].a < blocks[j].a })
-		// Sweep to produce free intervals.
-		var free []iv
-		cursor := rowRect.Lo.X
-		for _, b := range blocks {
-			if b.a > cursor {
-				free = append(free, iv{cursor, math.Min(b.a, rowRect.Hi.X)})
-			}
-			if b.b > cursor {
-				cursor = b.b
-			}
-			if cursor >= rowRect.Hi.X {
-				break
-			}
-		}
-		if cursor < rowRect.Hi.X {
-			free = append(free, iv{cursor, rowRect.Hi.X})
-		}
-		// Split each free interval at fence boundaries.
-		for _, f := range free {
-			cuts := []float64{f.a, f.b}
+			domain := db.NoRegion
+			mid := geom.Point{X: (a + b) / 2, Y: (rowRect.Lo.Y + rowRect.Hi.Y) / 2}
 			for gi := range d.Regions {
 				for _, fr := range d.Regions[gi].Rects {
-					if fr.Lo.Y <= rowRect.Lo.Y && fr.Hi.Y >= rowRect.Hi.Y {
-						if fr.Lo.X > f.a && fr.Lo.X < f.b {
-							cuts = append(cuts, fr.Lo.X)
-						}
-						if fr.Hi.X > f.a && fr.Hi.X < f.b {
-							cuts = append(cuts, fr.Hi.X)
-						}
+					if fr.Lo.Y <= rowRect.Lo.Y && fr.Hi.Y >= rowRect.Hi.Y && fr.Contains(mid) {
+						domain = gi
 					}
 				}
 			}
-			sort.Float64s(cuts)
-			for i := 0; i+1 < len(cuts); i++ {
-				a, b := cuts[i], cuts[i+1]
-				if b-a < 1e-9 {
-					continue
-				}
-				domain := db.NoRegion
-				mid := geom.Point{X: (a + b) / 2, Y: (rowRect.Lo.Y + rowRect.Hi.Y) / 2}
-				for gi := range d.Regions {
-					for _, fr := range d.Regions[gi].Rects {
-						if fr.Lo.Y <= rowRect.Lo.Y && fr.Hi.Y >= rowRect.Hi.Y && fr.Contains(mid) {
-							domain = gi
-						}
-					}
-				}
-				segs = append(segs, &rowSeg{row: ri, y: row.Y, x1: a, x2: b, domain: domain})
-			}
+			segs = append(segs, &rowSeg{row: ri, y: row.Y, x1: a, x2: b, domain: domain})
 		}
 	}
 	return segs

@@ -175,7 +175,7 @@ func TestBuildSegmentsAroundObstacle(t *testing.T) {
 	b.MakeRows(10, 1)
 	d := b.MustDesign()
 	d.Cells[0].Pos = geom.Point{X: 40, Y: 0}
-	segs := buildSegments(d)
+	segs := buildSegments(d, 1)
 	// 3 rows × 2 segments each.
 	if len(segs) != 6 {
 		t.Fatalf("expected 6 segments, got %d", len(segs))
@@ -196,7 +196,7 @@ func TestBuildSegmentsFenceDomains(t *testing.T) {
 	b.AddStdCell("a", 2, 2)
 	b.MakeRows(10, 1)
 	d := b.MustDesign()
-	segs := buildSegments(d)
+	segs := buildSegments(d, 1)
 	if len(segs) != 3 {
 		t.Fatalf("expected 3 segments (out, fence, out), got %d", len(segs))
 	}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 )
 
 // DefaultCap bounds the automatic worker count: the parallel kernels are
@@ -44,3 +46,43 @@ func Workers(n int) int {
 
 // DefaultWorkers is Workers(0): the automatic choice.
 func DefaultWorkers() int { return Workers(0) }
+
+// ForWorker runs fn(worker, i) for every i in [0, n), pulling items off a
+// shared atomic cursor with the given number of workers. Item order is
+// unspecified across workers, so fn must be a pure function of i writing
+// only worker-private state or per-item slots — the pattern every
+// deterministic parallel stage in this repo (router batches, DP proposal
+// sweeps, legalizer row builds) is built on. With workers ≤ 1 (or n ≤ 1)
+// everything runs on the calling goroutine as worker 0.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(k, i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// For is ForWorker for callers that do not need worker-private state.
+func For(n, workers int, fn func(i int)) {
+	ForWorker(n, workers, func(_, i int) { fn(i) })
+}
