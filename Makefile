@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp serve test-serve test-store test-dp fuzz-smoke
+.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp benchdiff serve test-serve test-store test-dp fuzz-smoke
 
 all: check
 
@@ -81,3 +81,18 @@ BENCH_DP_FLAGS ?= -cells 2000 -workers 1,2,8 -out BENCH_dp.json
 bench-dp:
 	$(GO) test -bench Optimize -benchmem -run xxx ./internal/dp/
 	$(GO) run ./cmd/benchdp $(BENCH_DP_FLAGS)
+
+# Bench regression gate: fresh benchroute/benchdp runs land in .bench/
+# (gitignored) and are diffed against the committed BENCH_*.json
+# baselines. Exits non-zero on a regression. Wall time is gated loosely
+# by default because machines differ; BENCHDIFF_FLAGS widens or tightens
+# every gate (see cmd/benchdiff -h).
+BENCHDIFF_FLAGS ?= -max-wall-ratio 10
+benchdiff:
+	@mkdir -p .bench
+	$(GO) run ./cmd/benchroute -workers 1 -out .bench/router.json
+	$(GO) run ./cmd/benchdp -out .bench/dp.json
+	@fail=0; \
+	$(GO) run ./cmd/benchdiff -baseline BENCH_router.json -current .bench/router.json $(BENCHDIFF_FLAGS) || fail=1; \
+	$(GO) run ./cmd/benchdiff -baseline BENCH_dp.json -current .bench/dp.json $(BENCHDIFF_FLAGS) || fail=1; \
+	exit $$fail

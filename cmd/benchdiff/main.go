@@ -1,0 +1,240 @@
+// Command benchdiff gates performance regressions: it compares a fresh
+// benchmark result file (cmd/benchroute -out, cmd/benchdp -out) against a
+// committed baseline (BENCH_router.json, BENCH_dp.json) and exits
+// non-zero when any gated metric regressed past its threshold.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_router.json -current .bench/router.json [flags]
+//
+// Runs are matched by (design, cells, workers). Three classes of metric
+// are gated, each with its own threshold because each has its own noise
+// floor:
+//
+//   - wall_seconds     -max-wall-ratio (default 1.5): wall time is the
+//     noisiest metric — machine-dependent, load-dependent — so the
+//     default bound only catches gross slowdowns. CI should widen it.
+//   - allocs_per_op / bytes_per_op  -max-alloc-ratio (default 1.1) plus a
+//     small absolute slack: allocation counts are nearly deterministic,
+//     so a 10% growth is a real change, but tiny baselines (0.07
+//     allocs/op) need the slack to avoid false positives.
+//   - overflow / max_congestion / hpwl_after  -max-quality-ratio
+//     (default 1.01): result quality is deterministic at fixed seed and
+//     worker count; any growth beyond float jitter is a regression.
+//
+// A markdown summary of every compared metric goes to -out (default
+// stdout), so CI can publish the table as a step summary.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/atomicfile"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline bench JSON (required)")
+		currentPath  = flag.String("current", "", "freshly produced bench JSON to gate (required)")
+		wallRatio    = flag.Float64("max-wall-ratio", 1.5, "fail when wall_seconds grows past this ratio")
+		allocRatio   = flag.Float64("max-alloc-ratio", 1.1, "fail when allocs_per_op or bytes_per_op grows past this ratio (plus a small absolute slack)")
+		qualityRatio = flag.Float64("max-quality-ratio", 1.01, "fail when overflow, max_congestion or hpwl_after grows past this ratio")
+		outPath      = flag.String("out", "-", "markdown summary destination (- = stdout)")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		return 0, fmt.Errorf("need -baseline and -current (run with -h for usage)")
+	}
+
+	base, err := readBenchFile(*baselinePath)
+	if err != nil {
+		return 0, fmt.Errorf("reading baseline: %w", err)
+	}
+	cur, err := readBenchFile(*currentPath)
+	if err != nil {
+		return 0, fmt.Errorf("reading current: %w", err)
+	}
+
+	res := diff(base, cur, thresholds{
+		WallRatio:    *wallRatio,
+		AllocRatio:   *allocRatio,
+		QualityRatio: *qualityRatio,
+	})
+	md := res.markdown(*baselinePath, *currentPath)
+	if *outPath == "-" {
+		fmt.Print(md)
+	} else if err := atomicfile.WriteFile(*outPath, []byte(md), 0o644); err != nil {
+		return 0, err
+	}
+	if n := len(res.regressions()); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past threshold\n", n)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// benchRun is the union of the per-run fields cmd/benchroute and
+// cmd/benchdp emit. Metrics a schema lacks unmarshal to zero and are
+// skipped by the gates.
+type benchRun struct {
+	Design  string `json:"design"`
+	Cells   int    `json:"cells"`
+	Workers int    `json:"workers"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	Overflow      float64 `json:"overflow"`
+	MaxCongestion float64 `json:"max_congestion"`
+	HPWLAfter     float64 `json:"hpwl_after"`
+}
+
+// key identifies a run across the two files.
+func (r benchRun) key() string {
+	return fmt.Sprintf("%s/%dc/%dw", r.Design, r.Cells, r.Workers)
+}
+
+type benchFile struct {
+	GoVersion string     `json:"go_version"`
+	Runs      []benchRun `json:"runs"`
+}
+
+func readBenchFile(path string) (benchFile, error) {
+	var bf benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Runs) == 0 {
+		return bf, fmt.Errorf("%s: no runs", path)
+	}
+	return bf, nil
+}
+
+type thresholds struct {
+	WallRatio    float64
+	AllocRatio   float64
+	QualityRatio float64
+}
+
+// Absolute slacks under the ratio gates: tiny per-op baselines (a DP
+// trial allocates 0.07 objects) would otherwise fail on noise a ratio
+// cannot express.
+const (
+	allocSlack = 1.0  // objects/op
+	bytesSlack = 64.0 // bytes/op
+)
+
+// row is one compared metric.
+type row struct {
+	Run, Metric    string
+	Base, Cur, Max float64 // Max is the allowed ceiling; 0 = informational
+	Regressed      bool
+	Note           string
+}
+
+type result struct {
+	rows []row
+}
+
+func (res *result) regressions() []row {
+	var out []row
+	for _, r := range res.rows {
+		if r.Regressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// diff compares every baseline run against its match in cur.
+func diff(base, cur benchFile, th thresholds) *result {
+	curByKey := map[string]benchRun{}
+	for _, r := range cur.Runs {
+		curByKey[r.key()] = r
+	}
+	res := &result{}
+	for _, b := range base.Runs {
+		c, ok := curByKey[b.key()]
+		if !ok {
+			res.rows = append(res.rows, row{
+				Run: b.key(), Metric: "(run)", Regressed: true,
+				Note: "baseline run missing from current results",
+			})
+			continue
+		}
+		res.compare(b.key(), "wall_seconds", b.WallSeconds, c.WallSeconds, th.WallRatio, 0)
+		res.compare(b.key(), "allocs_per_op", b.AllocsPerOp, c.AllocsPerOp, th.AllocRatio, allocSlack)
+		res.compare(b.key(), "bytes_per_op", b.BytesPerOp, c.BytesPerOp, th.AllocRatio, bytesSlack)
+		res.compare(b.key(), "overflow", b.Overflow, c.Overflow, th.QualityRatio, 0)
+		res.compare(b.key(), "max_congestion", b.MaxCongestion, c.MaxCongestion, th.QualityRatio, 0)
+		res.compare(b.key(), "hpwl_after", b.HPWLAfter, c.HPWLAfter, th.QualityRatio, 0)
+	}
+	sort.SliceStable(res.rows, func(i, j int) bool {
+		if res.rows[i].Regressed != res.rows[j].Regressed {
+			return res.rows[i].Regressed
+		}
+		return false
+	})
+	return res
+}
+
+// compare gates one metric: current must stay under base*ratio + slack.
+// Metrics absent from a schema (zero in either file) are skipped.
+func (res *result) compare(run, metric string, base, cur, ratio, slack float64) {
+	if base == 0 || cur == 0 {
+		return
+	}
+	max := base*ratio + slack
+	res.rows = append(res.rows, row{
+		Run: run, Metric: metric,
+		Base: base, Cur: cur, Max: max,
+		Regressed: cur > max,
+	})
+}
+
+// markdown renders the comparison as a GitHub-flavored table.
+func (res *result) markdown(basePath, curPath string) string {
+	var b strings.Builder
+	regs := res.regressions()
+	fmt.Fprintf(&b, "## benchdiff: `%s` vs `%s`\n\n", curPath, basePath)
+	if len(regs) == 0 {
+		fmt.Fprintf(&b, "No regressions (%d metrics compared).\n\n", len(res.rows))
+	} else {
+		fmt.Fprintf(&b, "**%d regression(s)** out of %d metrics compared.\n\n", len(regs), len(res.rows))
+	}
+	fmt.Fprintf(&b, "| run | metric | baseline | current | Δ%% | allowed | status |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---|\n")
+	for _, r := range res.rows {
+		if r.Note != "" {
+			fmt.Fprintf(&b, "| %s | %s | — | — | — | — | ❌ %s |\n", r.Run, r.Metric, r.Note)
+			continue
+		}
+		status := "ok"
+		if r.Regressed {
+			status = "❌ regressed"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.6g | %.6g | %+.2f%% | %.6g | %s |\n",
+			r.Run, r.Metric, r.Base, r.Cur, 100*(r.Cur/r.Base-1), r.Max, status)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() through the real flag surface, like main does.
+func runCLI(t *testing.T, args ...string) (int, error) {
+	t.Helper()
+	flag.CommandLine = flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	oldArgs := os.Args
+	os.Args = append([]string{"benchdiff"}, args...)
+	t.Cleanup(func() { os.Args = oldArgs })
+	return run()
+}
+
+func TestIdenticalFilesPass(t *testing.T) {
+	code, err := runCLI(t, "-baseline", "testdata/baseline.json", "-current", "testdata/baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("identical files: exit %d, want 0", code)
+	}
+}
+
+func TestWithinThresholdsPass(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "summary.md")
+	code, err := runCLI(t, "-baseline", "testdata/baseline.json", "-current", "testdata/ok.json", "-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("within-threshold current: exit %d, want 0", code)
+	}
+	md, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "No regressions") {
+		t.Errorf("summary does not declare a clean pass:\n%s", md)
+	}
+}
+
+// TestInjectedRegressionFails is the gate's own gate: a fixture with a
+// doubled allocation rate on one run and a blown overflow on another must
+// produce a non-zero exit and name both in the summary.
+func TestInjectedRegressionFails(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "summary.md")
+	code, err := runCLI(t, "-baseline", "testdata/baseline.json", "-current", "testdata/regress.json", "-out", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("injected regression: exit %d, want 1", code)
+	}
+	md, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"allocs_per_op", "bytes_per_op", "overflow", "regressed"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMissingRunIsARegression(t *testing.T) {
+	trimmed := filepath.Join(t.TempDir(), "trimmed.json")
+	data, err := os.ReadFile("testdata/ok.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the 2000-cell run by renaming its design: the baseline run no
+	// longer has a match.
+	if err := os.WriteFile(trimmed, []byte(strings.Replace(string(data), `"cells": 2000`, `"cells": 2001`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := runCLI(t, "-baseline", "testdata/baseline.json", "-current", trimmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("missing baseline run: exit %d, want 1", code)
+	}
+}
+
+func TestThresholdFlagsWiden(t *testing.T) {
+	// The same regression fixture passes when the gates are opened wide.
+	code, err := runCLI(t,
+		"-baseline", "testdata/baseline.json", "-current", "testdata/regress.json",
+		"-max-alloc-ratio", "3", "-max-quality-ratio", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("widened thresholds: exit %d, want 0", code)
+	}
+}
+
+func TestDiffSkipsAbsentMetrics(t *testing.T) {
+	base := benchFile{Runs: []benchRun{{Design: "d", Cells: 10, Workers: 1, WallSeconds: 1, HPWLAfter: 100}}}
+	cur := benchFile{Runs: []benchRun{{Design: "d", Cells: 10, Workers: 1, WallSeconds: 1.1, HPWLAfter: 100}}}
+	res := diff(base, cur, thresholds{WallRatio: 1.5, AllocRatio: 1.1, QualityRatio: 1.01})
+	for _, r := range res.rows {
+		switch r.Metric {
+		case "wall_seconds", "hpwl_after":
+		default:
+			t.Errorf("absent metric %q was compared", r.Metric)
+		}
+		if r.Regressed {
+			t.Errorf("%s flagged as regression", r.Metric)
+		}
+	}
+	if len(res.rows) != 2 {
+		t.Errorf("compared %d metrics, want 2", len(res.rows))
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if _, err := runCLI(t, "-baseline", "testdata/baseline.json", "-current", "testdata/nope.json"); err == nil {
+		t.Error("missing current file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "-baseline", empty, "-current", empty); err == nil {
+		t.Error("empty runs accepted")
+	}
+}

@@ -52,6 +52,7 @@ func run() error {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		report  = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON (open in Perfetto/chrome://tracing) to this file")
 		asJSON  = flag.Bool("json", false, "also print the score row as JSON on stdout")
 		fprint  = flag.Bool("fingerprint", false, "print the design's canonical fingerprint (hex) and exit without scoring")
 		verbose = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
@@ -86,7 +87,7 @@ func run() error {
 			}
 		}()
 	}
-	rec, err := buildRecorder(*report, *verbose, *logLvl)
+	rec, err := buildRecorder(*report, *trace, *verbose, *logLvl)
 	if err != nil {
 		return err
 	}
@@ -127,13 +128,13 @@ func run() error {
 	}
 	if d.Route == nil {
 		fmt.Printf("HPWL %.6g (no .route file: congestion scoring skipped)\n", d.HPWL())
-		return finishEvaluate(rec, d, row, *report, *asJSON, *rrr, *workers)
+		return finishEvaluate(rec, d, row, *report, *trace, *asJSON, *rrr, *workers)
 	}
 	m, err := route.EvaluateDesignCtx(ctx, d, route.RouterOptions{
 		MaxRRRIters: *rrr, Workers: *workers, Obs: rec, TraceLabel: "evaluate",
 	})
 	if err != nil {
-		return flushCanceledReport(rec, *report, d, *rrr, *workers, err)
+		return flushCanceledReport(rec, *report, *trace, d, *rrr, *workers, err)
 	}
 	// The row carries no wall time: evaluate's stdout stays byte-identical
 	// across runs and worker counts (the determinism check diffs it), and
@@ -168,14 +169,14 @@ func run() error {
 		}
 		fmt.Println("wrote", *svgPath)
 	}
-	return finishEvaluate(rec, d, row, *report, *asJSON, *rrr, *workers)
+	return finishEvaluate(rec, d, row, *report, *trace, *asJSON, *rrr, *workers)
 }
 
-// flushCanceledReport writes the -report post-mortem for a run that ended
-// early — with the canceled marker when the cause was SIGINT or -timeout —
-// and passes the run error through.
-func flushCanceledReport(rec *obs.Recorder, report string, d *db.Design, rrr, workers int, runErr error) error {
-	if report == "" {
+// flushCanceledReport writes the -report and -trace post-mortems for a
+// run that ended early — with the canceled marker when the cause was
+// SIGINT or -timeout — and passes the run error through.
+func flushCanceledReport(rec *obs.Recorder, report, trace string, d *db.Design, rrr, workers int, runErr error) error {
+	if report == "" && trace == "" {
 		return runErr
 	}
 	rep := rec.BuildReport()
@@ -183,17 +184,26 @@ func flushCanceledReport(rec *obs.Recorder, report string, d *db.Design, rrr, wo
 	rep.Design = obs.DescribeDesign(d)
 	rep.Config = map[string]any{"rrr": rrr, "workers": workers}
 	rep.Canceled = errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
-	if err := rep.WriteFile(report); err != nil {
-		fmt.Fprintln(os.Stderr, "evaluate: report:", err)
-	} else {
-		fmt.Println("wrote", report)
+	if report != "" {
+		if err := rep.WriteFile(report); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: report:", err)
+		} else {
+			fmt.Println("wrote", report)
+		}
+	}
+	if trace != "" {
+		if err := rep.WriteChromeTraceFile(trace); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: trace:", err)
+		} else {
+			fmt.Println("wrote", trace)
+		}
 	}
 	return runErr
 }
 
 // buildRecorder constructs the telemetry recorder the flags ask for, or
 // nil (telemetry fully disabled) when none do.
-func buildRecorder(report string, verbose bool, level string) (*obs.Recorder, error) {
+func buildRecorder(report, trace string, verbose bool, level string) (*obs.Recorder, error) {
 	if verbose && level == "" {
 		level = "debug"
 	}
@@ -205,15 +215,18 @@ func buildRecorder(report string, verbose bool, level string) (*obs.Recorder, er
 		}
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
 	}
-	if report == "" && logger == nil {
+	if report == "" && trace == "" && logger == nil {
 		return nil, nil
 	}
-	return obs.New(obs.Config{Logger: logger}), nil
+	return obs.New(obs.Config{
+		Logger:          logger,
+		SampleResources: report != "" || trace != "",
+	}), nil
 }
 
 // finishEvaluate prints the score row (text table, plus JSON with -json)
-// and writes the run report when requested.
-func finishEvaluate(rec *obs.Recorder, d *db.Design, row metrics.Row, report string, asJSON bool, rrr, workers int) error {
+// and writes the run report and trace when requested.
+func finishEvaluate(rec *obs.Recorder, d *db.Design, row metrics.Row, report, trace string, asJSON bool, rrr, workers int) error {
 	fmt.Println(metrics.Header())
 	fmt.Println(row)
 	if asJSON {
@@ -223,7 +236,7 @@ func finishEvaluate(rec *obs.Recorder, d *db.Design, row metrics.Row, report str
 			return err
 		}
 	}
-	if report == "" {
+	if report == "" && trace == "" {
 		return nil
 	}
 	rep := rec.BuildReport()
@@ -231,10 +244,18 @@ func finishEvaluate(rec *obs.Recorder, d *db.Design, row metrics.Row, report str
 	rep.Design = obs.DescribeDesign(d)
 	rep.Config = map[string]any{"rrr": rrr, "workers": workers}
 	rep.Metrics = &row
-	if err := rep.WriteFile(report); err != nil {
-		return err
+	if report != "" {
+		if err := rep.WriteFile(report); err != nil {
+			return err
+		}
+		fmt.Println("wrote", report)
 	}
-	fmt.Println("wrote", report)
+	if trace != "" {
+		if err := rep.WriteChromeTraceFile(trace); err != nil {
+			return err
+		}
+		fmt.Println("wrote", trace)
+	}
 	return nil
 }
 

@@ -79,6 +79,7 @@ func run() error {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		report    = flag.String("report", "", "write a machine-readable JSON run report to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON (open in Perfetto/chrome://tracing) to this file")
 		heatDir   = flag.String("heatmap-dir", "", "write per-iteration congestion heatmap SVGs into this directory")
 		verbose   = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
 		logLevel  = flag.String("log-level", "", "stderr log level: debug, info, warn or error (empty = logging off)")
@@ -111,7 +112,7 @@ func run() error {
 		}()
 	}
 
-	rec, err := buildRecorder(*report, *heatDir, *verbose, *logLevel)
+	rec, err := buildRecorder(*report, *tracePath, *heatDir, *verbose, *logLevel)
 	if err != nil {
 		return err
 	}
@@ -172,7 +173,7 @@ func run() error {
 		res, err = placer.PlaceContext(ctx, d)
 	}
 	if err != nil {
-		return flushCanceledReport(rec, *report, cfg, d, err)
+		return flushCanceledReport(rec, *report, *tracePath, cfg, d, err)
 	}
 	total := time.Since(t0)
 
@@ -195,7 +196,7 @@ func run() error {
 	if *evaluate && d.Route != nil {
 		m, err := route.EvaluateDesignCtx(ctx, d, route.RouterOptions{Workers: *workers, Obs: rec, TraceLabel: "evaluate"})
 		if err != nil {
-			return flushCanceledReport(rec, *report, cfg, d, err)
+			return flushCanceledReport(rec, *report, *tracePath, cfg, d, err)
 		}
 		row.ScaledHPWL = m.ScaledHPWL
 		row.RC = m.RC
@@ -226,16 +227,24 @@ func run() error {
 			return err
 		}
 	}
-	if *report != "" {
+	if *report != "" || *tracePath != "" {
 		rep := rec.BuildReport()
 		rep.Tool = "placer"
 		rep.Design = obs.DescribeDesign(d)
 		rep.Config = cfg
 		rep.Metrics = &row
-		if err := rep.WriteFile(*report); err != nil {
-			return err
+		if *report != "" {
+			if err := rep.WriteFile(*report); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *report)
 		}
-		fmt.Println("wrote", *report)
+		if *tracePath != "" {
+			if err := rep.WriteChromeTraceFile(*tracePath); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *tracePath)
+		}
 	}
 	if *heatDir != "" {
 		if err := writeHeatmaps(*heatDir, d.Name, rec); err != nil {
@@ -245,11 +254,11 @@ func run() error {
 	return nil
 }
 
-// flushCanceledReport writes the -report post-mortem for a run that ended
-// early — with the canceled marker when the cause was SIGINT or -timeout —
-// and passes the run error through.
-func flushCanceledReport(rec *obs.Recorder, report string, cfg core.Config, d *db.Design, runErr error) error {
-	if report == "" {
+// flushCanceledReport writes the -report and -trace post-mortems for a
+// run that ended early — with the canceled marker when the cause was
+// SIGINT or -timeout — and passes the run error through.
+func flushCanceledReport(rec *obs.Recorder, report, trace string, cfg core.Config, d *db.Design, runErr error) error {
+	if report == "" && trace == "" {
 		return runErr
 	}
 	rep := rec.BuildReport()
@@ -257,17 +266,28 @@ func flushCanceledReport(rec *obs.Recorder, report string, cfg core.Config, d *d
 	rep.Design = obs.DescribeDesign(d)
 	rep.Config = cfg
 	rep.Canceled = errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
-	if err := rep.WriteFile(report); err != nil {
-		fmt.Fprintln(os.Stderr, "placer: report:", err)
-	} else {
-		fmt.Println("wrote", report)
+	if report != "" {
+		if err := rep.WriteFile(report); err != nil {
+			fmt.Fprintln(os.Stderr, "placer: report:", err)
+		} else {
+			fmt.Println("wrote", report)
+		}
+	}
+	if trace != "" {
+		if err := rep.WriteChromeTraceFile(trace); err != nil {
+			fmt.Fprintln(os.Stderr, "placer: trace:", err)
+		} else {
+			fmt.Println("wrote", trace)
+		}
 	}
 	return runErr
 }
 
 // buildRecorder constructs the telemetry recorder the flags ask for, or
-// nil (telemetry fully disabled) when none do.
-func buildRecorder(report, heatDir string, verbose bool, level string) (*obs.Recorder, error) {
+// nil (telemetry fully disabled) when none do. Resource sampling rides
+// along whenever a report or trace will be rendered — it is a handful of
+// runtime/metrics reads per stage, and both outputs attribute cost.
+func buildRecorder(report, trace, heatDir string, verbose bool, level string) (*obs.Recorder, error) {
 	if verbose && level == "" {
 		level = "debug"
 	}
@@ -279,10 +299,14 @@ func buildRecorder(report, heatDir string, verbose bool, level string) (*obs.Rec
 		}
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
 	}
-	if report == "" && heatDir == "" && logger == nil {
+	if report == "" && trace == "" && heatDir == "" && logger == nil {
 		return nil, nil
 	}
-	return obs.New(obs.Config{Logger: logger, CaptureHeatmaps: heatDir != ""}), nil
+	return obs.New(obs.Config{
+		Logger:          logger,
+		CaptureHeatmaps: heatDir != "",
+		SampleResources: report != "" || trace != "",
+	}), nil
 }
 
 // writeHeatmaps renders every captured per-round congestion map as an SVG

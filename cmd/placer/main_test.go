@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/gen"
 	"repro/internal/geom"
 )
 
@@ -66,6 +69,109 @@ func TestLoadDesignSeedOverride(t *testing.T) {
 	}
 	if same {
 		t.Error("seed override had no effect")
+	}
+}
+
+// TestTraceMatchesReport runs the -report/-trace pipeline the CLI wires
+// up (recorder with resource sampling → full placement → report + Chrome
+// trace) on a tiny design, then cross-checks the two outputs: every
+// top-level span in the report must appear as an "X" complete event in
+// the trace with ts/dur equal to the report's start/duration (report is
+// milliseconds, trace microseconds).
+func TestTraceMatchesReport(t *testing.T) {
+	d, err := gen.Generate(gen.Config{
+		Name: "trace-t", Seed: 7,
+		NumStdCells: 200, NumFixedMacros: 1, NumMovableMacros: 1,
+		MacroSizeRows: 4, NumModules: 2, NumFences: 1, NumTerminals: 8,
+		TargetUtil: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := buildRecorder("r.json", "t.json", "", false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{DisableDP: true, Workers: 1, Obs: rec}
+	placer, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placer.PlaceContext(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := rec.BuildReport()
+	rep.Tool = "placer"
+	dir := t.TempDir()
+	repPath := filepath.Join(dir, "r.json")
+	trPath := filepath.Join(dir, "t.json")
+	if err := rep.WriteFile(repPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteChromeTraceFile(trPath); err != nil {
+		t.Fatal(err)
+	}
+
+	var gotRep struct {
+		Spans []struct {
+			Name    string  `json:"name"`
+			StartMS float64 `json:"start_ms"`
+			DurMS   float64 `json:"dur_ms"`
+		} `json:"spans"`
+		Attribution map[string]*struct {
+			WallMS       float64 `json:"wall_ms"`
+			AllocObjects int64   `json:"alloc_objects"`
+		} `json:"attribution"`
+	}
+	repData, err := os.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(repData, &gotRep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if len(gotRep.Spans) == 0 {
+		t.Fatal("report has no spans")
+	}
+	if gotRep.Attribution["gp"] == nil || gotRep.Attribution["gp"].WallMS <= 0 {
+		t.Errorf("report attribution missing gp: %+v", gotRep.Attribution)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	trData, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(trData, &trace); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	type key struct {
+		name string
+		ts   float64
+	}
+	durs := map[key]float64{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			durs[key{ev.Name, ev.Ts}] = ev.Dur
+		}
+	}
+	for _, sp := range gotRep.Spans {
+		dur, ok := durs[key{sp.Name, sp.StartMS * 1e3}]
+		if !ok {
+			t.Errorf("span %q (start %.3fms) has no matching trace event", sp.Name, sp.StartMS)
+			continue
+		}
+		if dur != sp.DurMS*1e3 {
+			t.Errorf("span %q: trace dur %.1fus, report %.3fms", sp.Name, dur, sp.DurMS)
+		}
 	}
 }
 

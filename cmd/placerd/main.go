@@ -59,6 +59,7 @@ func run() error {
 		ckEvery  = flag.Int("checkpoint-every", 1, "lambda rounds between job checkpoints (needs -state-dir)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline before in-flight jobs are canceled")
 		maxBody  = flag.Int64("max-body", 32<<20, "submission body size limit in bytes")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("verbose", false, "debug logging (shorthand for -log-level debug)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
 	)
@@ -86,7 +87,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	api := serve.NewServer(mgr, serve.ServerOptions{MaxBodyBytes: *maxBody})
+	api := serve.NewServer(mgr, serve.ServerOptions{MaxBodyBytes: *maxBody, Pprof: *pprofOn})
 	srv := &http.Server{Addr: *addr, Handler: api}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,47 @@
+// Package atomicfile writes files atomically: data goes to a temporary
+// file in the destination directory, is fsynced, and is then renamed over
+// the final path. Readers therefore observe either the previous complete
+// file or the new complete file — never a torn write. The checkpoint
+// codec (internal/snap), the job journal (internal/serve) and the run
+// report writer (internal/obs) all persist through this package.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory so the final rename never crosses a
+// filesystem boundary. On any error the temporary file is removed and
+// the previous contents of path are left untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

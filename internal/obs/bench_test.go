@@ -52,3 +52,15 @@ func BenchmarkEnabledTrace(b *testing.B) {
 		rec.RecordRouteRound(RouteRound{Round: i, Overflow: 3})
 	}
 }
+
+// BenchmarkSampledSpan measures a span with resource attribution on:
+// two runtime/metrics snapshots (start + end). This is the per-stage
+// cost -sample-resources adds — microseconds, but not free, which is
+// why sampling is opt-in.
+func BenchmarkSampledSpan(b *testing.B) {
+	rec := New(Config{SampleResources: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.StartSpan("gp").End()
+	}
+}

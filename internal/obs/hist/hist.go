@@ -1,0 +1,102 @@
+// Package hist is a fixed-bucket cumulative histogram in the Prometheus
+// exposition shape: le-labeled upper bounds, an implicit +Inf bucket,
+// and _sum/_count series. It started life as internal/serve's private
+// job-latency histogram and was promoted so every subsystem exporting
+// /metrics (job latency, per-stage placement seconds, future backends)
+// shares one observe/render implementation.
+package hist
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Histogram is a concurrency-safe cumulative histogram. The zero value
+// is not usable; construct with New.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // cumulative: counts[i] covers v <= bounds[i]
+	sum    float64
+	n      uint64
+}
+
+// LatencySeconds returns the default seconds-scale bucket boundaries
+// used for job and stage durations (100ms .. 2min).
+func LatencySeconds() []float64 {
+	return []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+}
+
+// New builds a histogram over the given ascending upper bounds. The
+// bounds slice is copied. Panics on empty or unsorted bounds — bucket
+// layouts are compile-time decisions, not runtime inputs.
+func New(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("hist: no bounds")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("hist: bounds not ascending")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	// Cumulative at observe time: every bucket whose bound covers v is
+	// incremented, matching Prometheus bucket semantics directly.
+	for i := len(h.bounds) - 1; i >= 0 && v <= h.bounds[i]; i-- {
+		h.counts[i]++
+	}
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Snapshot is a consistent copy of the histogram's state.
+type Snapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] is the cumulative
+	// count of observations <= Bounds[i] (the +Inf bucket is Count).
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the current state under the lock.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// WriteProm renders the histogram's _bucket/_sum/_count series in the
+// Prometheus text exposition format. labels is a pre-rendered constant
+// label list (`stage="gp"`), or "" for none; the caller writes the
+// # HELP / # TYPE header (one header may cover many label sets).
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	s := h.Snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, s.Counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}

@@ -1,0 +1,146 @@
+package hist
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	h := New([]float64{1, 2, 5})
+
+	// Exactly on a bound counts into that bucket (le semantics).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(5)
+	// Between bounds.
+	h.Observe(1.5)
+	// Above every bound: only +Inf (Count).
+	h.Observe(100)
+
+	s := h.Snapshot()
+	if got, want := s.Counts[0], uint64(1); got != want { // <= 1: {1}
+		t.Errorf("counts[le=1] = %d, want %d", got, want)
+	}
+	if got, want := s.Counts[1], uint64(3); got != want { // <= 2: {1, 2, 1.5}
+		t.Errorf("counts[le=2] = %d, want %d", got, want)
+	}
+	if got, want := s.Counts[2], uint64(4); got != want { // <= 5: all but 100
+		t.Errorf("counts[le=5] = %d, want %d", got, want)
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 1+2+5+1.5+100 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+}
+
+// TestCumulativeCounts pins the Prometheus invariant: bucket counts are
+// monotonically non-decreasing and the +Inf bucket equals Count.
+func TestCumulativeCounts(t *testing.T) {
+	h := New(LatencySeconds())
+	for _, v := range []float64{0.05, 0.2, 0.2, 0.7, 3, 40, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := uint64(0)
+	for i, c := range s.Counts {
+		if c < prev {
+			t.Errorf("bucket %d (le=%g) count %d < previous %d", i, s.Bounds[i], c, prev)
+		}
+		prev = c
+	}
+	if prev > s.Count {
+		t.Errorf("last bucket %d exceeds total count %d", prev, s.Count)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":    {},
+		"unsorted": {2, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%s) did not panic", name)
+				}
+			}()
+			New(bounds)
+		}()
+	}
+}
+
+// TestConcurrentObserve hammers Observe from many goroutines; run under
+// -race this is the data-race check, and the final count pins that no
+// observation was lost.
+func TestConcurrentObserve(t *testing.T) {
+	h := New([]float64{0.5, 1, 2})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%4) * 0.6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	// 0 and 0.6*... values: everything <= 2 except 0.6*3 = 1.8 <= 2 too,
+	// so the last bucket must equal the total.
+	if s.Counts[len(s.Counts)-1] != s.Count {
+		t.Errorf("last bucket = %d, want %d", s.Counts[len(s.Counts)-1], s.Count)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	h := New([]float64{1, 5})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(10)
+
+	var plain bytes.Buffer
+	h.WriteProm(&plain, "x_seconds", "")
+	want := strings.Join([]string{
+		`x_seconds_bucket{le="1"} 1`,
+		`x_seconds_bucket{le="5"} 2`,
+		`x_seconds_bucket{le="+Inf"} 3`,
+		`x_seconds_sum 13.5`,
+		`x_seconds_count 3`,
+	}, "\n") + "\n"
+	if plain.String() != want {
+		t.Errorf("plain exposition:\n%s--- want ---\n%s", plain.String(), want)
+	}
+
+	var labeled bytes.Buffer
+	h.WriteProm(&labeled, "x_seconds", `stage="gp"`)
+	for _, line := range []string{
+		`x_seconds_bucket{stage="gp",le="1"} 1`,
+		`x_seconds_bucket{stage="gp",le="+Inf"} 3`,
+		`x_seconds_sum{stage="gp"} 13.5`,
+		`x_seconds_count{stage="gp"} 3`,
+	} {
+		if !strings.Contains(labeled.String(), line) {
+			t.Errorf("labeled exposition missing %q:\n%s", line, labeled.String())
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	h := New([]float64{1})
+	h.Observe(0.5)
+	s := h.Snapshot()
+	s.Counts[0] = 999
+	s.Bounds[0] = 999
+	if got := h.Snapshot(); got.Counts[0] != 1 || got.Bounds[0] != 1 {
+		t.Errorf("mutating a snapshot leaked into the histogram: %+v", got)
+	}
+}

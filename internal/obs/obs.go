@@ -28,6 +28,11 @@ type Config struct {
 	// CaptureHeatmaps retains a per-round copy of the routed tile
 	// congestion map (memory-proportional to rounds × tiles, so opt-in).
 	CaptureHeatmaps bool
+	// SampleResources snapshots runtime/metrics (CPU seconds, allocation
+	// volume, live-heap growth, GC cycles and pauses, goroutines) at every
+	// span's start and end, so the run report attributes resource cost per
+	// stage (see resource.go). Off, spans keep their pre-sampling cost.
+	SampleResources bool
 	// Clock overrides time.Now for spans and wall-time measurements
 	// (tests inject a fake clock to make timings deterministic).
 	Clock func() time.Time
@@ -53,6 +58,9 @@ type Recorder struct {
 	start           time.Time
 	captureHeatmaps bool
 	onEvent         func(Event)
+	// sampleRes takes a resource snapshot for span attribution; nil means
+	// sampling is off. Tests swap in a deterministic sampler.
+	sampleRes func() resSample
 
 	mu    sync.Mutex
 	spans []*Span
@@ -67,13 +75,17 @@ func New(cfg Config) *Recorder {
 	if now == nil {
 		now = time.Now
 	}
-	return &Recorder{
+	r := &Recorder{
 		log:             cfg.Logger,
 		now:             now,
 		start:           now(),
 		captureHeatmaps: cfg.CaptureHeatmaps,
 		onEvent:         cfg.OnEvent,
 	}
+	if cfg.SampleResources {
+		r.sampleRes = readResources
+	}
+	return r
 }
 
 // Enabled reports whether telemetry is being recorded. It is the
@@ -123,6 +135,11 @@ type GPRound struct {
 	FenceDist float64 `json:"fence_dist"`
 	HPWL      float64 `json:"hpwl"`
 	CGIters   int     `json:"cg_iters"`
+
+	// TMS is when the round was recorded, in milliseconds since recorder
+	// creation — the timestamp trace export (trace.go) places counter
+	// samples at. Stamped by RecordGPRound.
+	TMS float64 `json:"t_ms,omitempty"`
 }
 
 // RouteRound is one pass of the global router: the initial pattern pass
@@ -141,6 +158,9 @@ type RouteRound struct {
 	Batches int `json:"batches"`
 	// WallMS is the round's wall-clock time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
+	// TMS is when the round was recorded, in milliseconds since recorder
+	// creation (see GPRound.TMS). Stamped by RecordRouteRound.
+	TMS float64 `json:"t_ms,omitempty"`
 }
 
 // Heatmap is one captured congestion map (row-major, [ty*NX+tx]).
@@ -157,6 +177,7 @@ func (r *Recorder) RecordGPRound(g GPRound) {
 	if r == nil {
 		return
 	}
+	g.TMS = durMS(r.now().Sub(r.start))
 	r.mu.Lock()
 	r.gp = append(r.gp, g)
 	r.mu.Unlock()
@@ -174,6 +195,7 @@ func (r *Recorder) RecordRouteRound(t RouteRound) {
 	if r == nil {
 		return
 	}
+	t.TMS = durMS(r.now().Sub(r.start))
 	r.mu.Lock()
 	r.route = append(r.route, t)
 	r.mu.Unlock()

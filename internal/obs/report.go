@@ -1,10 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
-	"os"
 
+	"repro/internal/atomicfile"
 	"repro/internal/db"
 	"repro/internal/metrics"
 )
@@ -32,6 +33,11 @@ type Report struct {
 
 	// Spans is the stage timing tree in creation order.
 	Spans []*SpanRecord `json:"spans,omitempty"`
+	// Attribution sums wall time and resource deltas per top-level stage
+	// (gp, routability, legalize, dp, route, ...), keyed by root span
+	// name. Resource fields are only populated when the recorder sampled
+	// resources (Config.SampleResources); wall time is always attributed.
+	Attribution map[string]*ResourceRecord `json:"attribution,omitempty"`
 	// GPTrace and RouteTrace are the per-round convergence curves.
 	GPTrace    []GPRound    `json:"gp_trace,omitempty"`
 	RouteTrace []RouteRound `json:"route_trace,omitempty"`
@@ -51,7 +57,10 @@ type SpanRecord struct {
 	StartMS  float64          `json:"start_ms"`
 	DurMS    float64          `json:"dur_ms"`
 	Counters map[string]int64 `json:"counters,omitempty"`
-	Children []*SpanRecord    `json:"children,omitempty"`
+	// Resources is the span's runtime-resource delta (only when the
+	// recorder sampled resources).
+	Resources *ResourceRecord `json:"resources,omitempty"`
+	Children  []*SpanRecord   `json:"children,omitempty"`
 }
 
 // DesignInfo summarizes the placed design for the report header.
@@ -110,7 +119,26 @@ func (r *Recorder) BuildReport() *Report {
 	for _, s := range spans {
 		rep.Spans = append(rep.Spans, s.record(r.start))
 	}
+	if len(rep.Spans) > 0 {
+		rep.Attribution = attribute(rep.Spans)
+	}
 	return rep
+}
+
+// attribute folds the root spans into per-stage cost buckets. Root spans
+// with the same name (the router's repeated "route" spans, say) sum into
+// one bucket.
+func attribute(roots []*SpanRecord) map[string]*ResourceRecord {
+	out := make(map[string]*ResourceRecord, len(roots))
+	for _, s := range roots {
+		b := out[s.Name]
+		if b == nil {
+			b = &ResourceRecord{}
+			out[s.Name] = b
+		}
+		b.add(s.Resources, s.DurMS)
+	}
+	return out
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -120,15 +148,13 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(rep)
 }
 
-// WriteFile writes the report to path as indented JSON.
+// WriteFile writes the report to path as indented JSON, atomically
+// (temp file + fsync + rename): a crash mid-write leaves the previous
+// report or none, never a torn report.json.
 func (rep *Report) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
 		return err
 	}
-	if err := rep.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
 }

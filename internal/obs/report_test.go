@@ -17,10 +17,12 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenReport builds a fully-populated report from deterministic
-// inputs (fake clock, fixed traces) so its JSON is byte-stable.
+// inputs (fake clock, fixed traces, fake resource sampler) so its JSON
+// is byte-stable.
 func goldenReport() *Report {
 	base := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
 	rec := New(Config{CaptureHeatmaps: true, Clock: fakeClock(base, 250*time.Millisecond)})
+	rec.sampleRes = fakeSampler()
 
 	gp := rec.StartSpan("gp")
 	lvl := gp.StartSpan("level-0")

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Resource attribution: when Config.SampleResources is set, every span
+// snapshots a small set of runtime/metrics series at start and end, and
+// its SpanRecord carries the deltas — CPU seconds, allocation volume,
+// live-heap growth, GC activity — so BuildReport can say not just how
+// long a stage (gp, routability, legalize, dp, route) took but what it
+// cost the process. Sampling is a handful of microseconds per snapshot
+// (one runtime/metrics.Read over seven series), which is noise at span
+// granularity; it is still opt-in because the deltas are process-wide:
+// with concurrent spans the attribution overlaps.
+//
+// The disabled paths stay free: a nil Recorder never reaches the
+// sampler, and an enabled recorder without SampleResources keeps the
+// pre-sampling span cost (no snapshot allocation, no metrics.Read).
+
+// Names of the runtime/metrics series one snapshot reads. Series missing
+// from the running Go version degrade to zero instead of failing.
+const (
+	mCPUTotal   = "/cpu/classes/total:cpu-seconds"
+	mAllocBytes = "/gc/heap/allocs:bytes"
+	mAllocObjs  = "/gc/heap/allocs:objects"
+	mHeapLive   = "/memory/classes/heap/objects:bytes"
+	mGCCycles   = "/gc/cycles/total:gc-cycles"
+	mGoroutines = "/sched/goroutines:goroutines"
+	mGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+var sampleNames = []string{
+	mCPUTotal, mAllocBytes, mAllocObjs, mHeapLive, mGCCycles, mGoroutines, mGCPauses,
+}
+
+// resSample is one snapshot of the sampled series, reduced to scalars.
+type resSample struct {
+	cpuSeconds     float64
+	allocBytes     uint64
+	allocObjects   uint64
+	heapLiveBytes  uint64
+	gcCycles       uint64
+	goroutines     uint64
+	gcPauseSeconds float64
+}
+
+// readResources takes one snapshot. It allocates the metrics.Sample
+// scratch per call; sampling is opt-in and span-granular, so this is
+// cold-path allocation by construction.
+func readResources() resSample {
+	samples := make([]metrics.Sample, len(sampleNames))
+	for i, n := range sampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	var s resSample
+	for i := range samples {
+		v := &samples[i].Value
+		switch samples[i].Name {
+		case mCPUTotal:
+			if v.Kind() == metrics.KindFloat64 {
+				s.cpuSeconds = v.Float64()
+			}
+		case mAllocBytes:
+			if v.Kind() == metrics.KindUint64 {
+				s.allocBytes = v.Uint64()
+			}
+		case mAllocObjs:
+			if v.Kind() == metrics.KindUint64 {
+				s.allocObjects = v.Uint64()
+			}
+		case mHeapLive:
+			if v.Kind() == metrics.KindUint64 {
+				s.heapLiveBytes = v.Uint64()
+			}
+		case mGCCycles:
+			if v.Kind() == metrics.KindUint64 {
+				s.gcCycles = v.Uint64()
+			}
+		case mGoroutines:
+			if v.Kind() == metrics.KindUint64 {
+				s.goroutines = v.Uint64()
+			}
+		case mGCPauses:
+			if v.Kind() == metrics.KindFloat64Histogram {
+				s.gcPauseSeconds = histogramTotal(v.Float64Histogram())
+			}
+		}
+	}
+	return s
+}
+
+// histogramTotal approximates the cumulative sum of a runtime/metrics
+// histogram by weighting each bucket's count with its midpoint (the
+// boundary itself for the open-ended edge buckets). Deltas of this
+// approximation track total GC pause time closely enough for stage
+// attribution.
+func histogramTotal(h *metrics.Float64Histogram) float64 {
+	total := 0.0
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		total += float64(count) * mid
+	}
+	return total
+}
+
+// ResourceRecord is the serialized resource delta of one span (or one
+// attribution bucket). All fields are deltas between the span's start
+// and end snapshots except Goroutines, which is the count at span end.
+type ResourceRecord struct {
+	// WallMS is only set on attribution summaries (the span's own wall
+	// time already lives in SpanRecord.DurMS).
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// CPUSeconds is process CPU time consumed while the span was open
+	// (user + GC + scavenger + idle, per runtime/metrics; approximate).
+	CPUSeconds float64 `json:"cpu_seconds,omitempty"`
+	// AllocBytes / AllocObjects are cumulative heap allocation deltas.
+	AllocBytes   int64 `json:"alloc_bytes,omitempty"`
+	AllocObjects int64 `json:"alloc_objects,omitempty"`
+	// HeapDeltaBytes is live-heap growth (negative when GC freed more
+	// than the span allocated).
+	HeapDeltaBytes int64 `json:"heap_delta_bytes,omitempty"`
+	// GCCycles and GCPauseMS are collector activity during the span.
+	GCCycles  int64   `json:"gc_cycles,omitempty"`
+	GCPauseMS float64 `json:"gc_pause_ms,omitempty"`
+	// Goroutines is the goroutine count when the span ended.
+	Goroutines int64 `json:"goroutines,omitempty"`
+}
+
+// delta reduces a start/end snapshot pair to the serialized record.
+func delta(start, end resSample) *ResourceRecord {
+	return &ResourceRecord{
+		CPUSeconds:     end.cpuSeconds - start.cpuSeconds,
+		AllocBytes:     int64(end.allocBytes) - int64(start.allocBytes),
+		AllocObjects:   int64(end.allocObjects) - int64(start.allocObjects),
+		HeapDeltaBytes: int64(end.heapLiveBytes) - int64(start.heapLiveBytes),
+		GCCycles:       int64(end.gcCycles) - int64(start.gcCycles),
+		GCPauseMS:      (end.gcPauseSeconds - start.gcPauseSeconds) * 1e3,
+		Goroutines:     int64(end.goroutines),
+	}
+}
+
+// add accumulates other into r (attribution buckets sum their spans).
+func (r *ResourceRecord) add(other *ResourceRecord, wallMS float64) {
+	r.WallMS += wallMS
+	if other == nil {
+		return
+	}
+	r.CPUSeconds += other.CPUSeconds
+	r.AllocBytes += other.AllocBytes
+	r.AllocObjects += other.AllocObjects
+	r.HeapDeltaBytes += other.HeapDeltaBytes
+	r.GCCycles += other.GCCycles
+	r.GCPauseMS += other.GCPauseMS
+	if other.Goroutines > r.Goroutines {
+		r.Goroutines = other.Goroutines
+	}
+}
+
+// RuntimeSnapshot is a point-in-time view of the Go runtime, for gauge
+// exports (placerd /metrics).
+type RuntimeSnapshot struct {
+	Goroutines      int64
+	HeapLiveBytes   int64
+	TotalAllocBytes int64
+	GCCycles        int64
+	GCPauseSeconds  float64
+	CPUSeconds      float64
+}
+
+// ReadRuntimeSnapshot samples the runtime series resource attribution
+// uses, as absolute values.
+func ReadRuntimeSnapshot() RuntimeSnapshot {
+	s := readResources()
+	return RuntimeSnapshot{
+		Goroutines:      int64(s.goroutines),
+		HeapLiveBytes:   int64(s.heapLiveBytes),
+		TotalAllocBytes: int64(s.allocBytes),
+		GCCycles:        int64(s.gcCycles),
+		GCPauseSeconds:  s.gcPauseSeconds,
+		CPUSeconds:      s.cpuSeconds,
+	}
+}

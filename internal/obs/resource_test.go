@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// fakeSampler returns a deterministic resource sampler: every snapshot
+// advances each series by a fixed stride, so span deltas are exact and
+// golden files stay byte-stable.
+func fakeSampler() func() resSample {
+	n := uint64(0)
+	return func() resSample {
+		n++
+		return resSample{
+			cpuSeconds:     float64(n) * 0.5,
+			allocBytes:     n * 4096,
+			allocObjects:   n * 64,
+			heapLiveBytes:  1 << 20, // flat live heap: zero delta
+			gcCycles:       n,
+			goroutines:     8,
+			gcPauseSeconds: float64(n) * 0.001,
+		}
+	}
+}
+
+func TestResourceAttribution(t *testing.T) {
+	rec := New(Config{SampleResources: true, Clock: fakeClock(time.Unix(0, 0), 100*time.Millisecond)})
+	rec.sampleRes = fakeSampler()
+
+	gp := rec.StartSpan("gp") // sample 1
+	gp.End()                  // sample 2
+	dp := rec.StartSpan("dp") // sample 3
+	dp.End()                  // sample 4
+
+	rep := rec.BuildReport()
+	if len(rep.Spans) != 2 {
+		t.Fatalf("spans = %d", len(rep.Spans))
+	}
+	res := rep.Spans[0].Resources
+	if res == nil {
+		t.Fatal("gp span has no resources")
+	}
+	// One sampler stride between start and end.
+	if res.CPUSeconds != 0.5 || res.AllocBytes != 4096 || res.AllocObjects != 64 {
+		t.Errorf("gp delta = %+v", res)
+	}
+	if res.HeapDeltaBytes != 0 || res.GCCycles != 1 || res.GCPauseMS != 1 || res.Goroutines != 8 {
+		t.Errorf("gp delta = %+v", res)
+	}
+
+	if rep.Attribution == nil {
+		t.Fatal("no attribution")
+	}
+	for _, stage := range []string{"gp", "dp"} {
+		b := rep.Attribution[stage]
+		if b == nil {
+			t.Fatalf("attribution missing %q (have %v)", stage, rep.Attribution)
+		}
+		if b.AllocBytes != 4096 || b.CPUSeconds != 0.5 {
+			t.Errorf("%s attribution = %+v", stage, b)
+		}
+		if b.WallMS <= 0 {
+			t.Errorf("%s attribution wall = %v, want > 0", stage, b.WallMS)
+		}
+	}
+}
+
+// TestAttributionMergesRepeatedStages checks that root spans sharing a
+// name (the router's repeated "route" spans) sum into one bucket.
+func TestAttributionMergesRepeatedStages(t *testing.T) {
+	rec := New(Config{SampleResources: true, Clock: fakeClock(time.Unix(0, 0), 100*time.Millisecond)})
+	rec.sampleRes = fakeSampler()
+	rec.StartSpan("route").End()
+	rec.StartSpan("route").End()
+	rep := rec.BuildReport()
+	b := rep.Attribution["route"]
+	if b == nil {
+		t.Fatal("no route bucket")
+	}
+	if b.AllocBytes != 2*4096 || b.CPUSeconds != 1.0 || b.GCCycles != 2 {
+		t.Errorf("merged bucket = %+v", b)
+	}
+}
+
+// TestAttributionWithoutSampling: wall time is attributed even when
+// resource sampling is off, and spans carry no resource record.
+func TestAttributionWithoutSampling(t *testing.T) {
+	rec := New(Config{Clock: fakeClock(time.Unix(0, 0), 100*time.Millisecond)})
+	rec.StartSpan("legalize").End()
+	rep := rec.BuildReport()
+	if rep.Spans[0].Resources != nil {
+		t.Error("resources recorded with sampling off")
+	}
+	b := rep.Attribution["legalize"]
+	if b == nil || b.WallMS != 100 {
+		t.Errorf("legalize bucket = %+v", b)
+	}
+	if b.AllocBytes != 0 || b.CPUSeconds != 0 {
+		t.Errorf("resource fields set without sampling: %+v", b)
+	}
+}
+
+// TestRealSamplerProducesPlausibleDeltas runs the real runtime/metrics
+// sampler against a deliberately allocating span.
+func TestRealSamplerProducesPlausibleDeltas(t *testing.T) {
+	rec := New(Config{SampleResources: true})
+	sp := rec.StartSpan("alloc")
+	sink = make([]byte, 1<<20)
+	runtime.KeepAlive(sink)
+	sp.End()
+	res := rec.BuildReport().Spans[0].Resources
+	if res == nil {
+		t.Fatal("no resources sampled")
+	}
+	if res.AllocBytes < 1<<20 {
+		t.Errorf("alloc bytes = %d, want >= 1MiB", res.AllocBytes)
+	}
+	if res.Goroutines < 1 {
+		t.Errorf("goroutines = %d", res.Goroutines)
+	}
+}
+
+var sink []byte
+
+// TestReadRuntimeSnapshot sanity-checks the absolute-value export the
+// placerd metrics endpoint uses.
+func TestReadRuntimeSnapshot(t *testing.T) {
+	s := ReadRuntimeSnapshot()
+	if s.Goroutines < 1 {
+		t.Errorf("goroutines = %d", s.Goroutines)
+	}
+	if s.HeapLiveBytes <= 0 || s.TotalAllocBytes <= 0 {
+		t.Errorf("heap = %d, alloc = %d", s.HeapLiveBytes, s.TotalAllocBytes)
+	}
+}
+
+// TestDisabledSamplingAllocFree pins that an enabled recorder WITHOUT
+// resource sampling keeps spans off the sampler path entirely, and the
+// nil-recorder path stays allocation-free with the config knob present.
+func TestDisabledSamplingAllocFree(t *testing.T) {
+	var rec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		s := rec.StartSpan("gp")
+		s.End()
+	}); n != 0 {
+		t.Errorf("nil recorder span allocates %v per op, want 0", n)
+	}
+	on := New(Config{})
+	if on.sampleRes != nil {
+		t.Fatal("sampler installed without SampleResources")
+	}
+}

@@ -15,12 +15,17 @@ type Span struct {
 	rec   *Recorder
 	name  string
 	start time.Time
+	// resStart is the resource snapshot at span start (nil when the
+	// recorder does not sample resources).
+	resStart *resSample
 
 	mu       sync.Mutex
 	end      time.Time
 	ended    bool
 	counters map[string]int64
 	children []*Span
+	// res is the start→end resource delta, computed at End.
+	res *ResourceRecord
 }
 
 // StartSpan opens a new root-level span.
@@ -29,6 +34,10 @@ func (r *Recorder) StartSpan(name string) *Span {
 		return nil
 	}
 	s := &Span{rec: r, name: name, start: r.now()}
+	if r.sampleRes != nil {
+		snap := r.sampleRes()
+		s.resStart = &snap
+	}
 	r.mu.Lock()
 	r.spans = append(r.spans, s)
 	r.mu.Unlock()
@@ -41,6 +50,10 @@ func (s *Span) StartSpan(name string) *Span {
 		return nil
 	}
 	c := &Span{rec: s.rec, name: name, start: s.rec.now()}
+	if s.rec.sampleRes != nil {
+		snap := s.rec.sampleRes()
+		c.resStart = &snap
+	}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -73,10 +86,15 @@ func (s *Span) End() {
 		return
 	}
 	now := s.rec.now()
+	var res *ResourceRecord
+	if s.resStart != nil {
+		res = delta(*s.resStart, s.rec.sampleRes())
+	}
 	s.mu.Lock()
 	if !s.ended {
 		s.ended = true
 		s.end = now
+		s.res = res
 	}
 	s.mu.Unlock()
 }
@@ -145,6 +163,7 @@ func (s *Span) record(origin time.Time) *SpanRecord {
 	}
 	if s.ended {
 		rec.DurMS = durMS(s.end.Sub(s.start))
+		rec.Resources = s.res
 	}
 	if len(s.counters) > 0 {
 		rec.Counters = make(map[string]int64, len(s.counters))

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/atomicfile"
+)
+
+// Chrome trace-event export: a Report's span tree and per-round GP/route
+// convergence traces rendered as the Trace Event Format JSON that
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly.
+// Spans become complete ("X") events on one thread track — nesting falls
+// out of time containment — and the convergence traces become counter
+// ("C") series sampled at each round's t_ms stamp, so HPWL and overflow
+// curves render right under the stage timeline that produced them.
+//
+// The emitted schema is pinned by a golden file
+// (testdata/trace.golden.json), like the report schema.
+
+// traceEvent is one Trace Event Format entry. Field order is the
+// serialization order, which the golden test pins.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace origin
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the document shape Perfetto's JSON importer expects.
+type chromeTrace struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+const (
+	tracePid     = 1
+	traceTidMain = 1
+)
+
+// WriteChromeTrace renders the report as Chrome trace-event JSON.
+func (rep *Report) WriteChromeTrace(w io.Writer) error {
+	tool := rep.Tool
+	if tool == "" {
+		tool = "placer"
+	}
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	tr.TraceEvents = append(tr.TraceEvents,
+		traceEvent{Name: "process_name", Ph: "M", Pid: tracePid, Args: map[string]any{"name": tool}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: traceTidMain, Args: map[string]any{"name": "stages"}},
+	)
+	for _, s := range rep.Spans {
+		tr.TraceEvents = appendSpanEvents(tr.TraceEvents, s)
+	}
+	for _, g := range rep.GPTrace {
+		ts := g.TMS * 1e3
+		tr.TraceEvents = append(tr.TraceEvents,
+			traceEvent{Name: "gp hpwl", Ph: "C", Ts: ts, Pid: tracePid, Args: map[string]any{"hpwl": g.HPWL}},
+			traceEvent{Name: "gp overflow", Ph: "C", Ts: ts, Pid: tracePid,
+				Args: map[string]any{"coarse": g.CoarseOverflow, "fine": g.FineOverflow}},
+		)
+	}
+	for _, t := range rep.RouteTrace {
+		ts := t.TMS * 1e3
+		tr.TraceEvents = append(tr.TraceEvents,
+			traceEvent{Name: "route overflow", Ph: "C", Ts: ts, Pid: tracePid, Args: map[string]any{"overflow": t.Overflow}},
+			traceEvent{Name: "route rerouted", Ph: "C", Ts: ts, Pid: tracePid, Args: map[string]any{"rerouted": t.Rerouted}},
+		)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&tr)
+}
+
+// appendSpanEvents emits the span subtree as complete events, depth
+// first, all on the main thread track (Perfetto nests by containment).
+// A span that never ended (a canceled run) is emitted with zero
+// duration so the trace still loads.
+func appendSpanEvents(evs []traceEvent, s *SpanRecord) []traceEvent {
+	dur := s.DurMS * 1e3
+	args := make(map[string]any, 2)
+	if len(s.Counters) > 0 {
+		args["counters"] = s.Counters
+	}
+	if s.Resources != nil {
+		args["resources"] = s.Resources
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	evs = append(evs, traceEvent{
+		Name: s.Name, Ph: "X",
+		Ts: s.StartMS * 1e3, Dur: &dur,
+		Pid: tracePid, Tid: traceTidMain,
+		Cat: "stage", Args: args,
+	})
+	for _, c := range s.Children {
+		evs = appendSpanEvents(evs, c)
+	}
+	return evs
+}
+
+// WriteChromeTraceFile writes the trace to path atomically.
+func (rep *Report) WriteChromeTraceFile(path string) error {
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		return fmt.Errorf("obs: rendering chrome trace: %w", err)
+	}
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestChromeTraceGolden pins the Chrome trace-event JSON schema the same
+// way report.golden.json pins the run-report schema: regenerate with
+// -update, and treat any diff as a deliberate schema change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceStructure decodes the emitted trace and checks the
+// invariants Perfetto relies on: every span becomes a complete event
+// whose name, start and duration match the report's span records, and
+// the convergence counters land at the rounds' t_ms stamps.
+func TestChromeTraceStructure(t *testing.T) {
+	rep := goldenReport()
+	var buf bytes.Buffer
+	if err := rep.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Index complete events by name.
+	type xev struct{ ts, dur float64 }
+	complete := map[string]xev{}
+	counters := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete[e.Name] = xev{e.Ts, e.Dur}
+		case "C":
+			counters++
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q (event %q)", e.Ph, e.Name)
+		}
+	}
+
+	// Every span record (recursively) must appear with matching times,
+	// microseconds vs the report's milliseconds.
+	var check func(s *SpanRecord)
+	check = func(s *SpanRecord) {
+		ev, ok := complete[s.Name]
+		if !ok {
+			t.Errorf("span %q missing from trace", s.Name)
+			return
+		}
+		if ev.ts != s.StartMS*1e3 || ev.dur != s.DurMS*1e3 {
+			t.Errorf("span %q: trace (ts=%v dur=%v) vs report (start=%v dur=%v ms)",
+				s.Name, ev.ts, ev.dur, s.StartMS, s.DurMS)
+		}
+		for _, c := range s.Children {
+			check(c)
+		}
+	}
+	for _, s := range rep.Spans {
+		check(s)
+	}
+
+	// Two counter series per GP round, two per route round.
+	if want := 2*len(rep.GPTrace) + 2*len(rep.RouteTrace); counters != want {
+		t.Errorf("counter events = %d, want %d", counters, want)
+	}
+}
+
+// TestChromeTraceEmptyReport keeps a nil-recorder report loadable.
+func TestChromeTraceEmptyReport(t *testing.T) {
+	var rec *Recorder
+	var buf bytes.Buffer
+	if err := rec.BuildReport().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := goldenReport().WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+}

@@ -59,6 +59,7 @@ func (m *Manager) cachedJob(spec Spec, d *db.Design, arts map[string][]byte) (*J
 	j.design = d
 	j.report = arts[reportFile]
 	j.pl = arts[resultFile]
+	j.trace = arts[traceFile]
 	if hb := arts[heatmapsFile]; hb != nil {
 		json.Unmarshal(hb, &j.heatmaps)
 	}
@@ -81,6 +82,7 @@ func (m *Manager) cachedJob(spec Spec, d *db.Design, arts map[string][]byte) (*J
 		j.journal.saveArtifact(reportFile, j.report)
 		j.journal.saveArtifact(resultFile, j.pl)
 		j.journal.saveArtifact(heatmapsFile, arts[heatmapsFile])
+		j.journal.saveArtifact(traceFile, j.trace)
 	}
 	j.broker.publish(Event{Type: EventState, State: StateDone, Cached: true})
 	j.broker.closeStream()

@@ -106,6 +106,7 @@ type Job struct {
 	report    []byte
 	pl        []byte
 	heatmaps  []obs.Heatmap
+	trace     []byte
 }
 
 // Status is the JSON view of a job's lifecycle.
@@ -195,6 +196,14 @@ func (j *Job) Heatmaps() []obs.Heatmap {
 	return j.heatmaps
 }
 
+// Trace returns the Chrome trace-event JSON rendered from the run report
+// (nil until terminal).
+func (j *Job) Trace() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
 // Events exposes the job's progress stream: the events from seq `from`
 // on, whether the stream is complete, and a channel closed on the next
 // publish (see broker.since).
@@ -221,11 +230,12 @@ func (j *Job) setRunning(cancel func()) bool {
 
 // setArtifacts stores the run outputs (called before finish so a client
 // woken by the terminal event always sees them).
-func (j *Job) setArtifacts(report, pl []byte, heatmaps []obs.Heatmap) {
+func (j *Job) setArtifacts(report, pl []byte, heatmaps []obs.Heatmap, trace []byte) {
 	j.mu.Lock()
 	j.report = report
 	j.pl = pl
 	j.heatmaps = heatmaps
+	j.trace = trace
 	j.mu.Unlock()
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/gen"
+	"repro/internal/obs/hist"
 	"repro/internal/store"
 )
 
@@ -112,7 +113,7 @@ func NewManager(opt Options) (*Manager, error) {
 		opt:  opt,
 		jobs: make(map[string]*Job),
 	}
-	m.stats.latency = newHistogram()
+	m.stats.latency = hist.New(hist.LatencySeconds())
 	var pending []*Job
 	if opt.StateDir != "" {
 		var err error

@@ -3,9 +3,15 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/hist"
 )
 
 // stats aggregates the operational counters /metrics exports.
@@ -15,7 +21,12 @@ type stats struct {
 	failed   atomic.Int64
 	canceled atomic.Int64
 	resumed  atomic.Int64 // jobs resumed from a journaled checkpoint
-	latency  *histogram
+	latency  *hist.Histogram
+
+	// stages histograms per-stage placement seconds, keyed by the root
+	// span name the flow emits (gp, routability, legalize, dp, route, …).
+	stageMu sync.Mutex
+	stages  map[string]*hist.Histogram
 }
 
 func (s *stats) finish(state State, dur time.Duration) {
@@ -27,40 +38,49 @@ func (s *stats) finish(state State, dur time.Duration) {
 	case StateCanceled:
 		s.canceled.Add(1)
 	}
-	s.latency.observe(dur.Seconds())
+	s.latency.Observe(dur.Seconds())
 }
 
-// histogram is a fixed-bucket cumulative histogram in the Prometheus
-// exposition shape (le-labeled upper bounds, +Inf implicit in count).
-type histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []int64 // one per bound; +Inf bucket is n
-	sum    float64
-	n      int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{
-		bounds: []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120},
-		counts: make([]int64, 10),
+// observeStages folds a finished job's report into the per-stage
+// duration histograms: one observation per top-level stage span.
+func (s *stats) observeStages(rep *obs.Report) {
+	if rep == nil {
+		return
+	}
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	for _, sp := range rep.Spans {
+		h := s.stages[sp.Name]
+		if h == nil {
+			if s.stages == nil {
+				s.stages = make(map[string]*hist.Histogram)
+			}
+			h = hist.New(hist.LatencySeconds())
+			s.stages[sp.Name] = h
+		}
+		h.Observe(sp.DurMS / 1e3)
 	}
 }
 
-func (h *histogram) observe(v float64) {
-	h.mu.Lock()
-	for i, b := range h.bounds {
-		if v <= b {
-			h.counts[i]++
+// buildInfoLabels renders the placerd_build_info label set once: the Go
+// toolchain version plus the VCS revision when the binary carries one.
+var buildInfoLabels = sync.OnceValue(func() string {
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				revision = s.Value
+			}
 		}
 	}
-	h.sum += v
-	h.n++
-	h.mu.Unlock()
-}
+	return fmt.Sprintf("go_version=%q,revision=%q", runtime.Version(), revision)
+})
 
 // writeMetrics renders the Prometheus text exposition for the manager.
 func (m *Manager) writeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP placerd_build_info Build metadata (constant 1).\n")
+	fmt.Fprintf(w, "# TYPE placerd_build_info gauge\n")
+	fmt.Fprintf(w, "placerd_build_info{%s} 1\n", buildInfoLabels())
 	fmt.Fprintf(w, "# HELP placerd_queue_depth Jobs waiting in the bounded FIFO queue.\n")
 	fmt.Fprintf(w, "# TYPE placerd_queue_depth gauge\n")
 	fmt.Fprintf(w, "placerd_queue_depth %d\n", m.QueueDepth())
@@ -101,15 +121,44 @@ func (m *Manager) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "placerd_store_bytes %d\n", st.Bytes)
 	}
 
-	h := m.stats.latency
-	h.mu.Lock()
 	fmt.Fprintf(w, "# HELP placerd_job_duration_seconds Job wall-clock run time.\n")
 	fmt.Fprintf(w, "# TYPE placerd_job_duration_seconds histogram\n")
-	for i, b := range h.bounds {
-		fmt.Fprintf(w, "placerd_job_duration_seconds_bucket{le=\"%g\"} %d\n", b, h.counts[i])
+	m.stats.latency.WriteProm(w, "placerd_job_duration_seconds", "")
+
+	m.stats.stageMu.Lock()
+	names := make([]string, 0, len(m.stats.stages))
+	for name := range m.stats.stages {
+		names = append(names, name)
 	}
-	fmt.Fprintf(w, "placerd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.n)
-	fmt.Fprintf(w, "placerd_job_duration_seconds_sum %g\n", h.sum)
-	fmt.Fprintf(w, "placerd_job_duration_seconds_count %d\n", h.n)
-	h.mu.Unlock()
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# HELP placerd_stage_seconds Per-stage placement wall time, labeled by flow stage.\n")
+		fmt.Fprintf(w, "# TYPE placerd_stage_seconds histogram\n")
+		for _, name := range names {
+			m.stats.stages[name].WriteProm(w, "placerd_stage_seconds", fmt.Sprintf("stage=%q", name))
+		}
+	}
+	m.stats.stageMu.Unlock()
+
+	// Go runtime gauges, sampled through the same runtime/metrics reader
+	// span attribution uses.
+	rt := obs.ReadRuntimeSnapshot()
+	fmt.Fprintf(w, "# HELP go_goroutines Goroutines currently live.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+	fmt.Fprintf(w, "go_goroutines %d\n", rt.Goroutines)
+	fmt.Fprintf(w, "# HELP go_heap_live_bytes Bytes of live heap objects.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_live_bytes gauge\n")
+	fmt.Fprintf(w, "go_heap_live_bytes %d\n", rt.HeapLiveBytes)
+	fmt.Fprintf(w, "# HELP go_alloc_bytes_total Cumulative heap bytes allocated.\n")
+	fmt.Fprintf(w, "# TYPE go_alloc_bytes_total counter\n")
+	fmt.Fprintf(w, "go_alloc_bytes_total %d\n", rt.TotalAllocBytes)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", rt.GCCycles)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Approximate cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", rt.GCPauseSeconds)
+	fmt.Fprintf(w, "# HELP go_cpu_seconds_total Approximate process CPU time per runtime/metrics.\n")
+	fmt.Fprintf(w, "# TYPE go_cpu_seconds_total counter\n")
+	fmt.Fprintf(w, "go_cpu_seconds_total %g\n", rt.CPUSeconds)
 }

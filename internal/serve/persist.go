@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/snap"
 	"repro/internal/store"
 )
@@ -24,6 +25,7 @@ import (
 //	jobs/<id>/report.json      final run report
 //	jobs/<id>/result.pl        placed .pl
 //	jobs/<id>/heatmaps.json    captured heatmaps (when the spec asked)
+//	jobs/<id>/trace.json       Chrome trace-event rendering of the report
 //	store/                     content-addressed result cache (internal/store)
 //
 // Everything a restarted daemon needs to answer for old jobs — status,
@@ -37,6 +39,7 @@ const (
 	reportFile     = "report.json"
 	resultFile     = "result.pl"
 	heatmapsFile   = "heatmaps.json"
+	traceFile      = "trace.json"
 )
 
 // jobRecord is the durable form of a submission (spec.json).
@@ -119,21 +122,7 @@ func (jj *jobJournal) close() {
 }
 
 func atomicWriteFile(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return err
-	}
-	return os.Rename(name, path)
+	return atomicfile.WriteFile(path, data, 0o644)
 }
 
 // jobDir is the state directory of one job.
@@ -233,6 +222,7 @@ func (m *Manager) recoverJob(id string) (j *Job, runnable bool, err error) {
 		j.errMsg = errMsg
 		j.report = readFileOrNil(filepath.Join(dir, reportFile))
 		j.pl = readFileOrNil(filepath.Join(dir, resultFile))
+		j.trace = readFileOrNil(filepath.Join(dir, traceFile))
 		if hb := readFileOrNil(filepath.Join(dir, heatmapsFile)); hb != nil {
 			json.Unmarshal(hb, &j.heatmaps)
 		}

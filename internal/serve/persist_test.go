@@ -86,6 +86,9 @@ func TestRestartServesTerminalJobs(t *testing.T) {
 	if !bytes.Equal(r.ResultPl(), wantPl) {
 		t.Error("recovered result.pl differs from the original")
 	}
+	if len(j.Trace()) == 0 || !bytes.Equal(r.Trace(), j.Trace()) {
+		t.Error("recovered trace missing or differs from the original")
+	}
 
 	// Full SSE replay over HTTP, then a tail via ?from= — the journaled
 	// sequence numbers must line up with the SSE ids.
@@ -303,6 +306,9 @@ func TestDuplicateSubmissionServedFromStore(t *testing.T) {
 	}
 	if !bytes.Equal(j2.ResultPl(), j1.ResultPl()) {
 		t.Error("cached result.pl differs from the original")
+	}
+	if len(j1.Trace()) == 0 || !bytes.Equal(j2.Trace(), j1.Trace()) {
+		t.Error("cached trace missing or differs from the original")
 	}
 	evs, done, _ := j2.Events(0)
 	if !done || len(evs) != 1 || evs[0].Type != EventState || !evs[0].Cached {

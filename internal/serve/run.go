@@ -30,6 +30,7 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 	rec := obs.New(obs.Config{
 		Logger:          m.opt.Logger.With("job", j.ID),
 		CaptureHeatmaps: j.Spec.Heatmaps,
+		SampleResources: true, // placerd reports always attribute stage cost
 		OnEvent:         j.broker.publishObs,
 	})
 	cfg := j.Spec.Config
@@ -98,8 +99,13 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 	rep.Metrics = &row
 	rep.Canceled = placeErr != nil &&
 		(errors.Is(placeErr, context.Canceled) || errors.Is(placeErr, context.DeadlineExceeded))
+	m.stats.observeStages(rep)
 	var repBuf bytes.Buffer
 	if err := json.NewEncoder(&repBuf).Encode(rep); err != nil {
+		return err
+	}
+	var traceBuf bytes.Buffer
+	if err := rep.WriteChromeTrace(&traceBuf); err != nil {
 		return err
 	}
 
@@ -112,7 +118,7 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		pl = plBuf.Bytes()
 	}
 	heats := rec.Heatmaps()
-	j.setArtifacts(repBuf.Bytes(), pl, heats)
+	j.setArtifacts(repBuf.Bytes(), pl, heats, traceBuf.Bytes())
 
 	var heatsJSON []byte
 	if j.Spec.Heatmaps && len(heats) > 0 {
@@ -122,6 +128,7 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		j.journal.saveArtifact(reportFile, repBuf.Bytes())
 		j.journal.saveArtifact(resultFile, pl)
 		j.journal.saveArtifact(heatmapsFile, heatsJSON)
+		j.journal.saveArtifact(traceFile, traceBuf.Bytes())
 	}
 	// A successfully completed run feeds the artifact store, so the next
 	// identical submission is answered from disk.
@@ -129,6 +136,7 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		arts := map[string][]byte{
 			reportFile: repBuf.Bytes(),
 			resultFile: pl,
+			traceFile:  traceBuf.Bytes(),
 		}
 		if heatsJSON != nil {
 			arts[heatmapsFile] = heatsJSON

@@ -213,6 +213,53 @@ func TestEndToEndPlacement(t *testing.T) {
 		t.Errorf("report metrics missing or empty: %+v", rep.Metrics)
 	}
 
+	// Chrome trace: span names in the trace's complete events must match
+	// the report's top-level stages, and resource attribution must be
+	// present (placerd always samples).
+	tr, err := http.Get(ts.URL + sub.Links["trace"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", tr.StatusCode)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBody, &trace); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	spanNames := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			spanNames[ev.Name] = true
+		}
+	}
+	for _, stage := range []string{"lower", "gp", "legalize"} {
+		if !spanNames[stage] {
+			t.Errorf("trace has no %q complete event (X events: %v)", stage, spanNames)
+		}
+	}
+	var repFull struct {
+		Attribution map[string]*struct {
+			WallMS float64 `json:"wall_ms"`
+		} `json:"attribution"`
+	}
+	rr2, err := http.Get(ts.URL + sub.Links["report"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(rr2.Body).Decode(&repFull)
+	rr2.Body.Close()
+	if repFull.Attribution["gp"] == nil || repFull.Attribution["gp"].WallMS <= 0 {
+		t.Errorf("report attribution missing gp stage: %+v", repFull.Attribution)
+	}
+
 	// Placement result.
 	pr, err := http.Get(ts.URL + sub.Links["result"])
 	if err != nil {
@@ -258,6 +305,62 @@ func TestEndToEndPlacement(t *testing.T) {
 	sr.Body.Close()
 	if st.State != StateDone || st.Events != len(events) {
 		t.Errorf("status = %+v, want done with %d events", st.Status, len(events))
+	}
+
+	// The completed run must have fed the per-stage duration histograms,
+	// and /metrics carries build info plus runtime gauges.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if ct := mr.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"placerd_build_info{go_version=",
+		`placerd_stage_seconds_count{stage="gp"} 1`,
+		`placerd_stage_seconds_bucket{stage="gp",le="+Inf"} 1`,
+		"go_goroutines ",
+		"go_heap_live_bytes ",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestPprofGated pins that the profiling endpoints only exist when the
+// deployment opted in.
+func TestPprofGated(t *testing.T) {
+	m := mustManager(t, Options{Runner: func(ctx context.Context, j *Job) error { return nil }})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+	off := httptest.NewServer(NewServer(m, ServerOptions{}))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(NewServer(m, ServerOptions{Pprof: true}))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want index page", resp.StatusCode)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"repro/internal/viz"
@@ -17,6 +18,10 @@ type ServerOptions struct {
 	MaxBodyBytes int64
 	// RetryAfterSec is the Retry-After hint on 429 responses (default 2).
 	RetryAfterSec int
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose internals and cost CPU, so enabling them
+	// is a deployment decision (cmd/placerd -pprof).
+	Pprof bool
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -38,10 +43,12 @@ func (o ServerOptions) withDefaults() ServerOptions {
 //	GET    /jobs/{id}/events          SSE progress stream (?from=<seq> resumes)
 //	GET    /jobs/{id}/report          final JSON run report
 //	GET    /jobs/{id}/result.pl       placed .pl
+//	GET    /jobs/{id}/trace           Chrome trace-event JSON (Perfetto)
 //	GET    /jobs/{id}/heatmaps        captured heatmap labels
 //	GET    /jobs/{id}/heatmaps/{label} one heatmap as SVG
 //	GET    /healthz                   liveness + queue gauges
 //	GET    /metrics                   Prometheus text metrics
+//	GET    /debug/pprof/...           net/http/pprof (ServerOptions.Pprof)
 type Server struct {
 	m   *Manager
 	opt ServerOptions
@@ -58,10 +65,18 @@ func NewServer(m *Manager, opt ServerOptions) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /jobs/{id}/result.pl", s.handleResultPl)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /jobs/{id}/heatmaps", s.handleHeatmapList)
 	s.mux.HandleFunc("GET /jobs/{id}/heatmaps/{label}", s.handleHeatmap)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -113,6 +128,7 @@ func jobLinks(id string) map[string]string {
 		"events": base + "/events",
 		"report": base + "/report",
 		"result": base + "/result.pl",
+		"trace":  base + "/trace",
 	}
 }
 
@@ -248,6 +264,20 @@ func (s *Server) handleResultPl(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(pl)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	tr := j.Trace()
+	if tr == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: fmt.Sprintf("job %s has no trace yet (state %s)", j.ID, j.State())})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(tr)
 }
 
 func (s *Server) handleHeatmapList(w http.ResponseWriter, r *http.Request) {

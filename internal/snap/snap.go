@@ -21,7 +21,8 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
-	"path/filepath"
+
+	"repro/internal/atomicfile"
 )
 
 // Magic identifies a snap checkpoint file.
@@ -197,36 +198,11 @@ func Decode(data []byte) (*State, error) {
 	return st, nil
 }
 
-// WriteFile writes the checkpoint atomically: the encoding goes to a
-// temporary file in the same directory, is fsynced, and then renamed over
-// path. Readers therefore never observe a partially written checkpoint.
+// WriteFile writes the checkpoint atomically (temp file + fsync +
+// rename, via internal/atomicfile). Readers therefore never observe a
+// partially written checkpoint.
 func WriteFile(path string, st *State) error {
-	data := Encode(st)
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".snap-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return atomicfile.WriteFile(path, Encode(st), 0o644)
 }
 
 // ReadFile loads and validates a checkpoint written by WriteFile.
