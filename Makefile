@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp benchdiff serve test-serve test-store test-dp fuzz-smoke
+.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp benchdiff serve test-serve test-store test-dp test-fleet fuzz-smoke
 
 all: check
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/... ./internal/fleet/...
 
 # Run the placement job server locally (see DESIGN.md §9).
 serve:
@@ -67,6 +67,13 @@ bench-obs:
 bench-router:
 	$(GO) test -bench . -benchmem -run xxx ./internal/route/
 	$(GO) run ./cmd/benchroute
+
+# The fleet suite alone, race-checked: lease reassignment, retry
+# budgets, checkpoint handoff, stitched SSE — plus the 2-worker process
+# e2e that SIGKILLs the owning worker mid-job and asserts completion
+# after reassignment (see DESIGN.md §13).
+test-fleet:
+	$(GO) test -race -v ./internal/fleet/
 
 # Detailed-placement suite alone, race-checked: incremental-engine
 # differentials, cross-worker .pl determinism, and placement invariants

@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"repro/internal/atomicfile"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -55,7 +56,12 @@ func run() (int, error) {
 		qualityRatio = flag.Float64("max-quality-ratio", 1.01, "fail when overflow, max_congestion or hpwl_after grows past this ratio")
 		outPath      = flag.String("out", "-", "markdown summary destination (- = stdout)")
 	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return 0, nil
+	}
 	if *baselinePath == "" || *currentPath == "" {
 		return 0, fmt.Errorf("need -baseline and -current (run with -h for usage)")
 	}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/bookshelf"
+	"repro/internal/buildinfo"
 	"repro/internal/gen"
 )
 
@@ -38,7 +39,12 @@ func run() error {
 		util   = flag.Float64("util", 0.7, "custom design: target utilization")
 		fences = flag.Int("fences", 4, "custom design: number of fence regions")
 	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
 
 	var cfgs []gen.Config
 	switch {

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/par"
@@ -68,7 +69,12 @@ func run() error {
 		seed    = flag.Int64("seed", 3, "benchmark design seed")
 		repeat  = flag.Int("repeat", 3, "timed repetitions per configuration (best wall time wins)")
 	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
 
 	wlist, err := parseInts(*workers)
 	if err != nil {

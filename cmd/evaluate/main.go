@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"repro/internal/bookshelf"
+	"repro/internal/buildinfo"
 	"repro/internal/db"
 	"repro/internal/geom"
 	"repro/internal/metrics"
@@ -58,7 +59,12 @@ func run() error {
 		verbose = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
 		logLvl  = flag.String("log-level", "", "stderr log level: debug, info, warn or error (empty = logging off)")
 	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
 	if *auxPath == "" {
 		return fmt.Errorf("need -aux (run with -h for usage)")
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/bookshelf"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/db"
 	"repro/internal/gen"
@@ -84,7 +85,12 @@ func run() error {
 		verbose   = flag.Bool("verbose", false, "debug logging to stderr (shorthand for -log-level debug)")
 		logLevel  = flag.String("log-level", "", "stderr log level: debug, info, warn or error (empty = logging off)")
 	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -23,6 +23,20 @@
 // its last checkpoint — and completed results are cached in a
 // content-addressed store so an identical resubmission is answered
 // instantly without running the placer.
+//
+// # Fleet modes
+//
+// placerd can also run as part of a fleet (internal/fleet):
+//
+//	placerd -coordinator -addr :8080
+//	placerd -join http://coordinator:8080 -addr :8081
+//
+// A coordinator accepts the same /jobs API as a single daemon but runs
+// nothing itself: it leases jobs to joined workers, reassigns them when a
+// worker dies mid-job (resuming from the last fetched checkpoint), and
+// stitches every worker's progress events into one gapless SSE stream
+// per job. A worker with -join runs the normal placerd service and
+// additionally registers with the coordinator and heartbeats.
 package main
 
 import (
@@ -31,12 +45,15 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
@@ -62,8 +79,23 @@ func run() error {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		verbose  = flag.Bool("verbose", false, "debug logging (shorthand for -log-level debug)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator (leases jobs to joined workers instead of running them)")
+		join        = flag.String("join", "", "coordinator base URL to register this worker with (e.g. http://host:8080)")
+		advertise   = flag.String("advertise", "", "base URL the coordinator reaches this worker under (default: derived from the bound listen address)")
+		lease       = flag.Duration("lease", 15*time.Second, "coordinator: assignment lease TTL (renewed by progress events and heartbeats)")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "coordinator: heartbeat interval advertised to workers")
+		retryBudget = flag.Int("retry-budget", 3, "coordinator: reassignments per job before it is marked failed")
 	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
+	if *coordinator && *join != "" {
+		return fmt.Errorf("-coordinator and -join are mutually exclusive")
+	}
 
 	if *verbose {
 		*logLevel = "debug"
@@ -73,6 +105,26 @@ func run() error {
 		return fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", *logLevel)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
+
+	// Bind before anything else so -addr :0 works and the actual address
+	// can be logged (tests and fleet quickstarts parse it).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *coordinator {
+		return runCoordinator(ctx, stop, ln, bound, logger, coordinatorConfig{
+			queue: *queue, workers: *workers, allowDir: *allowDir,
+			stateDir: *stateDir, storeMax: *storeMax, maxBody: *maxBody,
+			lease: *lease, heartbeat: *heartbeat, retryBudget: *retryBudget,
+			drain: *drain,
+		})
+	}
 
 	mgr, err := serve.NewManager(serve.Options{
 		QueueSize:       *queue,
@@ -85,18 +137,35 @@ func run() error {
 		Logger:          logger,
 	})
 	if err != nil {
+		ln.Close()
 		return err
 	}
 	api := serve.NewServer(mgr, serve.ServerOptions{MaxBodyBytes: *maxBody, Pprof: *pprofOn})
-	srv := &http.Server{Addr: *addr, Handler: api}
+	srv := &http.Server{Handler: api}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	var agent *fleet.Agent
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseURL(bound)
+		}
+		agent, err = fleet.StartAgent(fleet.AgentOptions{
+			Coordinator: *join,
+			Advertise:   adv,
+			Capacity:    *jobs,
+			Manager:     mgr,
+			Logger:      logger,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("placerd listening", "addr", *addr, "queue", *queue, "jobs", *jobs)
-		errc <- srv.ListenAndServe()
+		logger.Info("placerd listening", "addr", bound, "queue", *queue, "jobs", *jobs, "join", *join)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
@@ -109,6 +178,13 @@ func run() error {
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if agent != nil {
+		// Deregister first so the coordinator requeues this worker's jobs
+		// immediately rather than waiting out their leases.
+		if err := agent.Close(dctx); err != nil {
+			logger.Warn("fleet deregistration failed", "err", err)
+		}
+	}
 	if err := mgr.Shutdown(dctx); err != nil {
 		logger.Warn("drain deadline hit, jobs canceled", "err", err)
 	}
@@ -116,4 +192,71 @@ func run() error {
 		return err
 	}
 	return nil
+}
+
+type coordinatorConfig struct {
+	queue, workers, retryBudget int
+	allowDir, stateDir          string
+	storeMax, maxBody           int64
+	lease, heartbeat, drain     time.Duration
+}
+
+func runCoordinator(ctx context.Context, stop func(), ln net.Listener, bound string, logger *slog.Logger, cfg coordinatorConfig) error {
+	coord, err := fleet.NewCoordinator(fleet.Options{
+		QueueSize:      cfg.queue,
+		LeaseTTL:       cfg.lease,
+		HeartbeatEvery: cfg.heartbeat,
+		RetryBudget:    cfg.retryBudget,
+		AllowDir:       cfg.allowDir,
+		Workers:        cfg.workers,
+		StateDir:       cfg.stateDir,
+		StoreMaxBytes:  cfg.storeMax,
+		Logger:         logger,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	api := fleet.NewServer(coord, fleet.ServerOptions{MaxBodyBytes: cfg.maxBody})
+	srv := &http.Server{Handler: api}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("placerd coordinator listening", "addr", bound, "queue", cfg.queue, "lease", cfg.lease)
+		errc <- srv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("coordinator shutting down", "deadline", cfg.drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := coord.Shutdown(dctx); err != nil {
+		logger.Warn("coordinator shutdown deadline hit", "err", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// advertiseURL turns the bound listen address into a URL the coordinator
+// can dial. A wildcard host (":8081", "0.0.0.0", "::") is rewritten to
+// loopback — good for single-machine fleets; multi-host fleets should
+// pass -advertise explicitly.
+func advertiseURL(bound string) string {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "http://" + bound
+	}
+	switch host {
+	case "", "0.0.0.0", "::":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -1,0 +1,48 @@
+// Package buildinfo exposes the build metadata stamped into the binary
+// by the Go toolchain: the Go version it was compiled with and the VCS
+// revision it was built from. It backs both the -version flag of every
+// command under cmd/ and the placerd_build_info metric, so the two always
+// agree on what is running.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// GoVersion is the Go toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// Revision returns the VCS revision the binary was built from, with a
+// "-dirty" suffix when the working tree had local modifications, or
+// "unknown" for binaries built outside a checkout (go test, go run of a
+// file set).
+var Revision = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+})
+
+// String is the one-line rendering the -version flag prints.
+func String() string {
+	return fmt.Sprintf("%s rev %s", GoVersion(), Revision())
+}

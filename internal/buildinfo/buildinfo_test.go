@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, runtime.Version()) {
+		t.Errorf("String() = %q, want prefix %q", s, runtime.Version())
+	}
+	if !strings.Contains(s, "rev ") {
+		t.Errorf("String() = %q, want a rev component", s)
+	}
+}
+
+func TestRevisionStable(t *testing.T) {
+	if Revision() == "" {
+		t.Error("Revision() must never be empty")
+	}
+	if Revision() != Revision() {
+		t.Error("Revision() must be stable across calls")
+	}
+}

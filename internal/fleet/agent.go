@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// AgentOptions configures a worker's fleet agent.
+type AgentOptions struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Advertise is the base URL under which the coordinator can reach this
+	// worker's placerd API.
+	Advertise string
+	// Capacity is the number of jobs the worker accepts concurrently
+	// (normally the manager's pool size).
+	Capacity int
+	// Manager is the local placerd job manager; its non-terminal jobs are
+	// reported as active on every heartbeat.
+	Manager *serve.Manager
+	// Logger receives agent lifecycle logs (nil = discard).
+	Logger *slog.Logger
+	// Client issues agent→coordinator requests (nil = a 5s-timeout client).
+	Client *http.Client
+}
+
+// registerRequest/registerResponse are the fleet registration wire types.
+type registerRequest struct {
+	Addr     string `json:"addr"`
+	Capacity int    `json:"capacity"`
+}
+
+type registerResponse struct {
+	WorkerID    string `json:"worker_id"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	LeaseMS     int64  `json:"lease_ms"`
+}
+
+// heartbeatRequest reports liveness and the worker-side ids of all
+// non-terminal jobs.
+type heartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Active   []string `json:"active,omitempty"`
+}
+
+// Agent registers a placerd worker with a fleet coordinator and keeps the
+// registration alive with periodic heartbeats. If the coordinator forgets
+// the worker (restart, expiry) the agent transparently re-registers under
+// a fresh identity.
+type Agent struct {
+	opt  AgentOptions
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	workerID string
+	beat     time.Duration
+}
+
+// StartAgent registers with the coordinator (retrying until it answers)
+// and starts the heartbeat loop.
+func StartAgent(opt AgentOptions) (*Agent, error) {
+	if opt.Coordinator == "" || opt.Advertise == "" {
+		return nil, fmt.Errorf("fleet agent: coordinator and advertise URLs are required")
+	}
+	if opt.Capacity <= 0 {
+		opt.Capacity = 1
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.DiscardHandler)
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	a := &Agent{opt: opt, stop: make(chan struct{})}
+	a.wg.Add(1)
+	go a.run()
+	return a, nil
+}
+
+// WorkerID returns the coordinator-assigned identity ("" before the first
+// successful registration).
+func (a *Agent) WorkerID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.workerID
+}
+
+// run is the agent loop: register (with backoff), then heartbeat until
+// stopped; a 404 heartbeat means the coordinator no longer knows us, so
+// drop the identity and register again.
+func (a *Agent) run() {
+	defer a.wg.Done()
+	backoff := 250 * time.Millisecond
+	for {
+		select {
+		case <-a.stop:
+			return
+		default:
+		}
+		if a.WorkerID() == "" {
+			if err := a.register(); err != nil {
+				a.opt.Logger.Warn("fleet registration failed; retrying", "coordinator", a.opt.Coordinator, "err", err)
+				select {
+				case <-a.stop:
+					return
+				case <-time.After(backoff):
+				}
+				backoff = min(backoff*2, 5*time.Second)
+				continue
+			}
+			backoff = 250 * time.Millisecond
+		}
+		a.mu.Lock()
+		beat := a.beat
+		a.mu.Unlock()
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(beat):
+		}
+		if err := a.heartbeat(); err != nil {
+			a.opt.Logger.Warn("heartbeat failed", "err", err)
+		}
+	}
+}
+
+// register announces the worker and adopts the coordinator's cadence.
+func (a *Agent) register() error {
+	body, _ := json.Marshal(registerRequest{Addr: a.opt.Advertise, Capacity: a.opt.Capacity})
+	resp, err := a.opt.Client.Post(a.opt.Coordinator+"/fleet/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("register: %s", errorMessage(data, resp.StatusCode))
+	}
+	var rr registerResponse
+	if err := json.Unmarshal(data, &rr); err != nil || rr.WorkerID == "" {
+		return fmt.Errorf("register: bad response: %v", err)
+	}
+	beat := time.Duration(rr.HeartbeatMS) * time.Millisecond
+	if beat <= 0 {
+		beat = 2 * time.Second
+	}
+	a.mu.Lock()
+	a.workerID = rr.WorkerID
+	a.beat = beat
+	a.mu.Unlock()
+	a.opt.Logger.Info("registered with fleet coordinator",
+		"coordinator", a.opt.Coordinator, "worker", rr.WorkerID, "heartbeat", beat)
+	return nil
+}
+
+// heartbeat reports liveness plus the active job set; on 404 the identity
+// is dropped so the loop re-registers.
+func (a *Agent) heartbeat() error {
+	id := a.WorkerID()
+	if id == "" {
+		return nil
+	}
+	var active []string
+	for _, j := range a.opt.Manager.List() {
+		if !j.State().Terminal() {
+			active = append(active, j.ID)
+		}
+	}
+	body, _ := json.Marshal(heartbeatRequest{WorkerID: id, Active: active})
+	resp, err := a.opt.Client.Post(a.opt.Coordinator+"/fleet/heartbeat", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode == http.StatusNotFound {
+		a.opt.Logger.Warn("coordinator forgot this worker; re-registering", "worker", id)
+		a.mu.Lock()
+		a.workerID = ""
+		a.mu.Unlock()
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("heartbeat: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Close stops the heartbeat loop and deregisters gracefully so the
+// coordinator requeues this worker's jobs immediately instead of waiting
+// out their leases.
+func (a *Agent) Close(ctx context.Context) error {
+	select {
+	case <-a.stop:
+		return nil
+	default:
+		close(a.stop)
+	}
+	a.wg.Wait()
+	id := a.WorkerID()
+	if id == "" {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, a.opt.Coordinator+"/fleet/workers/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := a.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,507 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/snap"
+)
+
+// tinySpec is a generated design small enough that coordinator-side
+// design loading (for validation and dedup fingerprints) is instant.
+func tinySpec() serve.Spec {
+	return serve.Spec{
+		Generate: &gen.Config{
+			Name: "fleet-t", Seed: 11,
+			NumStdCells: 200, NumFixedMacros: 1, NumMovableMacros: 1,
+			MacroSizeRows: 4, NumModules: 2, NumFences: 1, NumTerminals: 8,
+			TargetUtil: 0.5,
+		},
+	}
+}
+
+// testOptions shrinks every fleet timescale so lease lapses and backoff
+// play out in milliseconds.
+func testOptions() Options {
+	return Options{
+		LeaseTTL:       500 * time.Millisecond,
+		HeartbeatEvery: 40 * time.Millisecond,
+		LostAfter:      200 * time.Millisecond,
+		BackoffBase:    10 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		Tick:           15 * time.Millisecond,
+	}
+}
+
+func mustCoordinator(t *testing.T, opt Options) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(opt)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	})
+	return c
+}
+
+// testWorker is one worker: a real serve.Manager behind a real HTTP
+// server, registered with the coordinator, with heartbeats driven by the
+// test so individual tests can stop them to simulate a crash.
+type testWorker struct {
+	ID  string
+	mgr *serve.Manager
+	ts  *httptest.Server
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+func startWorker(t *testing.T, c *Coordinator, sopt serve.Options) *testWorker {
+	t.Helper()
+	mgr, err := serve.NewManager(sopt)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	ts := httptest.NewServer(serve.NewServer(mgr, serve.ServerOptions{}))
+	capacity := sopt.Jobs
+	if capacity <= 0 {
+		capacity = 1
+	}
+	ws, err := c.Register(ts.URL, capacity)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	w := &testWorker{ID: ws.ID, mgr: mgr, ts: ts, stop: make(chan struct{})}
+	go func() {
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				var active []string
+				for _, j := range mgr.List() {
+					if !j.State().Terminal() {
+						active = append(active, j.ID)
+					}
+				}
+				c.Heartbeat(w.ID, active)
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		w.stopHeartbeat()
+		ts.Close()
+		// Cancel leftovers first: Shutdown waits out its whole context
+		// before canceling, and wedged test runners never finish on their
+		// own.
+		for _, j := range mgr.List() {
+			if !j.State().Terminal() {
+				mgr.Cancel(j.ID)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+	return w
+}
+
+// waitOwned waits until the coordinator has recorded the worker-side job
+// id for the current assignment — the point where cancels and requeues
+// can reach the worker.
+func waitOwned(t *testing.T, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j.mu.Lock()
+		owned := j.workerJob != ""
+		j.mu.Unlock()
+		if owned {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never got a worker-side id", j.ID)
+}
+
+// stopHeartbeat simulates a crash/partition: the worker's placerd may or
+// may not still be up, but the coordinator stops hearing from it.
+func (w *testWorker) stopHeartbeat() {
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+func waitState(t *testing.T, j *Job, want serve.State) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.State() == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s state = %s, want %s (status %+v)", j.ID, j.State(), want, j.Status())
+}
+
+// completingRunner emits a GP round and sets artifacts, like the real
+// placement body would.
+func completingRunner(runs *atomic.Int64) func(context.Context, *serve.Job) error {
+	return func(ctx context.Context, j *serve.Job) error {
+		if runs != nil {
+			runs.Add(1)
+		}
+		j.PublishObs(obs.Event{GP: &obs.GPRound{Round: 1, HPWL: 42}})
+		j.SetArtifacts([]byte(`{"version":1}`), []byte("pl-result\n"), nil, nil)
+		return nil
+	}
+}
+
+func TestFleetHappyPath(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+	w := startWorker(t, c, serve.Options{Runner: completingRunner(nil)})
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, j, serve.StateDone)
+
+	evs, done, _ := j.Events(0)
+	if !done {
+		t.Fatal("event log not closed after terminal state")
+	}
+	var types []string
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d: stitched log must be contiguous", i, e.Seq)
+		}
+		types = append(types, e.Type)
+	}
+	got := strings.Join(types, ",")
+	want := "state,assign,state,gp,state"
+	if got != want {
+		t.Fatalf("event types = %s, want %s", got, want)
+	}
+	if evs[1].Worker != w.ID {
+		t.Errorf("assign event worker = %q, want %q", evs[1].Worker, w.ID)
+	}
+
+	if string(j.ResultPl()) != "pl-result\n" {
+		t.Errorf("ResultPl = %q", j.ResultPl())
+	}
+	var rep struct {
+		Fleet *obs.FleetAttribution `json:"fleet"`
+	}
+	if err := json.Unmarshal(j.Report(), &rep); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if rep.Fleet == nil || rep.Fleet.Worker != w.ID || rep.Fleet.Attempt != 1 || rep.Fleet.Resumed {
+		t.Errorf("fleet attribution = %+v, want worker %s attempt 1 fresh", rep.Fleet, w.ID)
+	}
+
+	st := j.Status()
+	if st.Worker != w.ID || st.Attempts != 1 || st.State != serve.StateDone {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestFleetReassignsOnWorkerLoss(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+
+	// Worker 1 wedges every job; worker 2 completes them. Assignment
+	// prefers the lowest worker id on ties, so the job lands on w1 first.
+	started := make(chan string, 4)
+	w1 := startWorker(t, c, serve.Options{Runner: func(ctx context.Context, j *serve.Job) error {
+		started <- j.ID
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	w2 := startWorker(t, c, serve.Options{Runner: completingRunner(nil)})
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started // wedged on w1
+
+	// Crash w1: heartbeats stop, placerd keeps the connection open (the
+	// wedge), so only the liveness sweep can free the job.
+	w1.stopHeartbeat()
+	waitState(t, j, serve.StateDone)
+
+	st := j.Status()
+	if st.Worker != w2.ID {
+		t.Errorf("finished on worker %q, want %q", st.Worker, w2.ID)
+	}
+	if st.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", st.Attempts)
+	}
+	if got := c.stats.reassignments.Load(); got != 1 {
+		t.Errorf("reassignments = %d, want 1", got)
+	}
+
+	// The stitched stream must read: queued, assign(w1), running(w1),
+	// requeue(w1), assign(w2), running(w2), gp, done — contiguous seqs.
+	evs, done, _ := j.Events(0)
+	if !done {
+		t.Fatal("event log not closed")
+	}
+	var requeues, assigns int
+	for i, e := range evs {
+		if e.Seq != i {
+			t.Fatalf("seq gap at %d (seq %d)", i, e.Seq)
+		}
+		switch e.Type {
+		case EventRequeue:
+			requeues++
+			if e.Worker != w1.ID {
+				t.Errorf("requeue attributed to %q, want %q", e.Worker, w1.ID)
+			}
+		case EventAssign:
+			assigns++
+		}
+	}
+	if requeues != 1 || assigns != 2 {
+		t.Errorf("requeues=%d assigns=%d, want 1 and 2", requeues, assigns)
+	}
+
+	// The lost worker shows as not live in the registry.
+	for _, ws := range c.Workers() {
+		if ws.ID == w1.ID && ws.Live {
+			t.Errorf("worker %s still live after missed heartbeats", w1.ID)
+		}
+	}
+}
+
+func TestFleetRetryBudgetExhausted(t *testing.T) {
+	opt := testOptions()
+	opt.RetryBudget = 1
+	c := mustCoordinator(t, opt)
+
+	// A worker whose placerd is already gone: submits fail, every attempt
+	// burns retry budget. Heartbeats keep flowing so the worker stays
+	// "live" and keeps being picked.
+	w := startWorker(t, c, serve.Options{Runner: completingRunner(nil)})
+	w.ts.Close()
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, j, serve.StateFailed)
+
+	st := j.Status()
+	if !strings.Contains(st.Error, "retry budget exhausted") {
+		t.Errorf("error = %q, want retry budget exhaustion", st.Error)
+	}
+	if st.Attempts != 2 { // 1 first run + 1 retry
+		t.Errorf("attempts = %d, want 2", st.Attempts)
+	}
+	if got := c.stats.retriesExhausted.Load(); got != 1 {
+		t.Errorf("retriesExhausted = %d, want 1", got)
+	}
+}
+
+func TestFleetCheckpointHandoff(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+
+	ckState := &snap.State{
+		Design: "fleet-t", Stage: snap.StageGP, Round: 3,
+		Lambda: 0.5, Mu: 1,
+		X: []float64{1, 2}, Y: []float64{3, 4},
+		Orient: []uint8{0, 0}, Inflate: []float64{1, 1},
+	}
+
+	// Worker 1 journals a checkpoint, then wedges. Its manager needs a
+	// state dir: SaveCheckpoint writes through the job journal.
+	saved := make(chan struct{}, 1)
+	w1 := startWorker(t, c, serve.Options{
+		StateDir: t.TempDir(),
+		Runner: func(ctx context.Context, j *serve.Job) error {
+			if err := j.SaveCheckpoint(ckState); err != nil {
+				t.Errorf("SaveCheckpoint: %v", err)
+			}
+			saved <- struct{}{}
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	})
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-saved
+
+	// Wait for the coordinator's checkpoint poller to pick it up, then
+	// crash w1.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j.mu.Lock()
+		got := len(j.checkpoint) > 0
+		j.mu.Unlock()
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never fetched the checkpoint")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w1.stopHeartbeat()
+
+	// Worker 2 must receive the checkpoint decoded into its resume slot.
+	resumed := make(chan *snap.State, 1)
+	w2 := startWorker(t, c, serve.Options{Runner: func(ctx context.Context, sj *serve.Job) error {
+		resumed <- sj.Resume()
+		return completingRunner(nil)(ctx, sj)
+	}})
+	_ = w2
+
+	waitState(t, j, serve.StateDone)
+	st := <-resumed
+	if st == nil {
+		t.Fatal("reassigned run did not receive the checkpoint")
+	}
+	if st.Round != ckState.Round || len(st.X) != 2 || st.X[0] != 1 {
+		t.Errorf("resumed state = round %d X %v, want round %d X %v", st.Round, st.X, ckState.Round, ckState.X)
+	}
+
+	var rep struct {
+		Fleet *obs.FleetAttribution `json:"fleet"`
+	}
+	if err := json.Unmarshal(j.Report(), &rep); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if rep.Fleet == nil || !rep.Fleet.Resumed || rep.Fleet.Attempt != 2 {
+		t.Errorf("fleet attribution = %+v, want resumed attempt 2", rep.Fleet)
+	}
+}
+
+func TestFleetDedupAcrossSubmissions(t *testing.T) {
+	opt := testOptions()
+	opt.StateDir = t.TempDir()
+	c := mustCoordinator(t, opt)
+	var runs atomic.Int64
+	startWorker(t, c, serve.Options{Runner: completingRunner(&runs)})
+
+	j1, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	waitState(t, j1, serve.StateDone)
+
+	j2, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit 2: %v", err)
+	}
+	waitState(t, j2, serve.StateDone)
+
+	if got := runs.Load(); got != 1 {
+		t.Errorf("worker ran %d times, want 1 (second submission served from store)", got)
+	}
+	if !j2.Status().Cached {
+		t.Error("second submission not marked cached")
+	}
+	if string(j2.ResultPl()) != "pl-result\n" {
+		t.Errorf("cached ResultPl = %q", j2.ResultPl())
+	}
+}
+
+func TestFleetCancelRunningJob(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+	started := make(chan string, 1)
+	startWorker(t, c, serve.Options{Runner: func(ctx context.Context, j *serve.Job) error {
+		started <- j.ID
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if _, err := c.Cancel(j.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	waitState(t, j, serve.StateCanceled)
+	if _, done, _ := j.Events(0); !done {
+		t.Error("event log not closed after cancel")
+	}
+}
+
+func TestFleetWorkerFailurePermanent(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+	startWorker(t, c, serve.Options{Runner: func(ctx context.Context, j *serve.Job) error {
+		return fmt.Errorf("placement exploded deterministically")
+	}})
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, j, serve.StateFailed)
+	st := j.Status()
+	if !strings.Contains(st.Error, "placement exploded") {
+		t.Errorf("error = %q, want the worker's failure verbatim", st.Error)
+	}
+	if st.Attempts != 1 {
+		t.Errorf("attempts = %d: a deterministic failure must not be retried", st.Attempts)
+	}
+}
+
+func TestCoordinatorRejectsClientCheckpoint(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+	spec := tinySpec()
+	spec.Checkpoint = snap.Encode(&snap.State{Design: "x", Stage: snap.StageGP})
+	if _, err := c.Submit(spec); err == nil || !strings.Contains(err.Error(), "fleet-internal") {
+		t.Fatalf("Submit with checkpoint: err = %v, want fleet-internal rejection", err)
+	}
+}
+
+func TestFleetGracefulDeregisterRequeues(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+	started := make(chan string, 2)
+	w1 := startWorker(t, c, serve.Options{Runner: func(ctx context.Context, j *serve.Job) error {
+		started <- j.ID
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	w2 := startWorker(t, c, serve.Options{Runner: completingRunner(nil)})
+
+	j, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	waitOwned(t, j)
+
+	// Graceful deregistration must requeue immediately — well inside one
+	// lease TTL.
+	begin := time.Now()
+	if err := c.Deregister(w1.ID); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	waitState(t, j, serve.StateDone)
+	if took := time.Since(begin); took > c.opt.LeaseTTL {
+		t.Errorf("reassignment after deregister took %v, want < lease TTL %v", took, c.opt.LeaseTTL)
+	}
+	if st := j.Status(); st.Worker != w2.ID {
+		t.Errorf("finished on %q, want %q", st.Worker, w2.ID)
+	}
+}

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Job is one fleet-level placement job: submitted once at the
+// coordinator, executed one or more times on workers.
+type Job struct {
+	// ID is the coordinator-assigned job identifier. Immutable.
+	ID string
+	// Spec is the submitted specification (never carries a checkpoint;
+	// checkpoints are injected into the copies sent to workers).
+	Spec serve.Spec
+
+	log *eventLog
+
+	mu        sync.Mutex
+	state     serve.State
+	errMsg    string
+	cached    bool
+	canceled  bool // user requested cancellation
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	designName string
+	storeKey   string // artifact-store key ("" when dedup is off)
+
+	// Assignment state, meaningful while state == running.
+	attempts   int    // assignment attempts so far (1 = first)
+	lastWorker string // worker of the previous attempt (reassignment anti-affinity)
+	worker     string // owning worker id
+	workerAddr string // owning worker base URL
+	workerJob  string // job id on the owning worker
+	leaseUntil time.Time
+	notBefore  time.Time // backoff gate while queued
+	running    bool      // a worker reported the running state this attempt
+
+	// checkpoint is the latest snap-codec checkpoint fetched from a
+	// worker, handed to the next assignment on requeue.
+	checkpoint []byte
+
+	report, pl, trace []byte
+}
+
+// Status is the JSON view of a fleet job: the serve.Status shape plus
+// fleet attribution, so a client written against single-node placerd can
+// read it unchanged.
+type Status struct {
+	serve.Status
+	// Worker is the id of the worker currently (running) or last
+	// (terminal) owning the job.
+	Worker string `json:"worker,omitempty"`
+	// Attempts is the number of assignment attempts consumed (1 = never
+	// reassigned).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() serve.State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		Status: serve.Status{
+			ID:        j.ID,
+			State:     j.state,
+			Design:    j.designName,
+			Error:     j.errMsg,
+			Submitted: j.submitted,
+			Events:    j.log.len(),
+			Cached:    j.cached,
+		},
+		Worker:   j.worker,
+		Attempts: j.attempts,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.DurationMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Events exposes the stitched progress stream (see eventLog.since).
+func (j *Job) Events(from int) ([]serve.Event, bool, <-chan struct{}) {
+	return j.log.since(from)
+}
+
+// Report returns the final JSON run report fetched from the worker that
+// completed the job, annotated with fleet attribution (nil until done).
+func (j *Job) Report() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// ResultPl returns the placed .pl bytes (nil until done).
+func (j *Job) ResultPl() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pl
+}
+
+// Trace returns the Chrome trace-event JSON (nil until done).
+func (j *Job) Trace() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// setCheckpoint records the latest worker-reported checkpoint.
+func (j *Job) setCheckpoint(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.checkpoint = data
+	j.mu.Unlock()
+}
+
+// publishProxied re-publishes a worker progress event into the stitched
+// log, attributed to the worker, unless the attempt went stale.
+func (j *Job) publishProxied(e serve.Event, worker string, attempt int) {
+	j.mu.Lock()
+	stale := j.attempts != attempt || j.state != serve.StateRunning
+	j.mu.Unlock()
+	if stale {
+		return
+	}
+	e.Worker = worker
+	j.log.publish(e)
+}
+
+// renewLease extends the lease while the job is still owned by the given
+// attempt. Stale renewals (the scheduler already took the job back) are
+// ignored.
+func (j *Job) renewLease(attempt int, ttl time.Duration) {
+	j.mu.Lock()
+	if j.state == serve.StateRunning && j.attempts == attempt {
+		j.leaseUntil = time.Now().Add(ttl)
+	}
+	j.mu.Unlock()
+}
+
+// publishRunning emits the running state event once per attempt, when the
+// worker first reports it.
+func (j *Job) publishRunning(worker string, attempt int) {
+	j.mu.Lock()
+	stale := j.attempts != attempt || j.running
+	if !stale {
+		j.running = true
+	}
+	j.mu.Unlock()
+	if !stale {
+		j.log.publish(serve.Event{Type: serve.EventState, State: serve.StateRunning, Worker: worker})
+	}
+}

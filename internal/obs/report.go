@@ -48,6 +48,22 @@ type Report struct {
 	// Heatmaps holds the captured per-round congestion maps (only when
 	// capture was requested).
 	Heatmaps []Heatmap `json:"heatmaps,omitempty"`
+
+	// Fleet attributes the run to the fleet worker that executed it. The
+	// fleet coordinator sets it on reports fetched from workers; it is
+	// absent on single-node runs.
+	Fleet *FleetAttribution `json:"fleet,omitempty"`
+}
+
+// FleetAttribution records which fleet worker produced a run and on which
+// assignment attempt (1 = never reassigned).
+type FleetAttribution struct {
+	Worker  string `json:"worker"`
+	Addr    string `json:"addr,omitempty"`
+	Attempt int    `json:"attempt"`
+	// Resumed marks a run that restarted from a checkpoint journaled by an
+	// earlier attempt on another worker.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // SpanRecord is the serialized form of a Span subtree. Times are

@@ -10,17 +10,25 @@ import (
 	"repro/internal/store"
 )
 
-// dedupKey derives the artifact-store key for a submission: the design's
-// canonical fingerprint plus everything about the spec that shapes the
-// result — the effective placer config (with the manager's worker default
-// applied, as placeJob would), the evaluate flag (it adds routed metrics
-// to the report) and the heatmap flag (it adds an artifact). TimeoutMS is
-// deliberately excluded: a timeout changes when a job is killed, not what
-// a completed job produces.
+// dedupKey derives the artifact-store key for a submission against the
+// manager's worker default.
 func (m *Manager) dedupKey(d *db.Design, spec Spec) (string, error) {
+	return DedupKey(d, spec, m.opt.Workers)
+}
+
+// DedupKey derives the artifact-store key for a submission: the design's
+// canonical fingerprint plus everything about the spec that shapes the
+// result — the effective placer config (with defaultWorkers applied when
+// the spec leaves the worker count automatic, as placeJob would), the
+// evaluate flag (it adds routed metrics to the report) and the heatmap
+// flag (it adds an artifact). TimeoutMS and Checkpoint are deliberately
+// excluded: they change when and where a job runs, not what a completed
+// job produces. The fleet coordinator computes the same key so identical
+// submissions short-circuit fleet-wide, not just per worker.
+func DedupKey(d *db.Design, spec Spec, defaultWorkers int) (string, error) {
 	cfg := spec.Config
 	if cfg.Workers == 0 {
-		cfg.Workers = m.opt.Workers
+		cfg.Workers = defaultWorkers
 	}
 	blob, err := json.Marshal(struct {
 		Design   string      `json:"design"`
@@ -57,10 +65,10 @@ func (m *Manager) cachedJob(spec Spec, d *db.Design, arts map[string][]byte) (*J
 	j.started = now
 	j.finished = now
 	j.design = d
-	j.report = arts[reportFile]
-	j.pl = arts[resultFile]
-	j.trace = arts[traceFile]
-	if hb := arts[heatmapsFile]; hb != nil {
+	j.report = arts[ReportFile]
+	j.pl = arts[ResultFile]
+	j.trace = arts[TraceFile]
+	if hb := arts[HeatmapsFile]; hb != nil {
 		json.Unmarshal(hb, &j.heatmaps)
 	}
 	if m.opt.StateDir != "" {
@@ -79,10 +87,10 @@ func (m *Manager) cachedJob(spec Spec, d *db.Design, arts map[string][]byte) (*J
 		if err := j.journal.writeSpec(jobRecord{ID: j.ID, Submitted: now, Spec: spec}); err != nil {
 			m.opt.Logger.Warn("journal spec write failed", "job", j.ID, "err", err)
 		}
-		j.journal.saveArtifact(reportFile, j.report)
-		j.journal.saveArtifact(resultFile, j.pl)
-		j.journal.saveArtifact(heatmapsFile, arts[heatmapsFile])
-		j.journal.saveArtifact(traceFile, j.trace)
+		j.journal.saveArtifact(ReportFile, j.report)
+		j.journal.saveArtifact(ResultFile, j.pl)
+		j.journal.saveArtifact(HeatmapsFile, arts[HeatmapsFile])
+		j.journal.saveArtifact(TraceFile, j.trace)
 	}
 	j.broker.publish(Event{Type: EventState, State: StateDone, Cached: true})
 	j.broker.closeStream()

@@ -26,7 +26,11 @@ type Event struct {
 	State State  `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
 	// Cached marks a terminal state served from the artifact store.
-	Cached bool            `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Worker attributes the event to the fleet worker that produced it
+	// (set by the fleet coordinator on stitched streams; empty on
+	// single-node streams).
+	Worker string          `json:"worker,omitempty"`
 	GP     *obs.GPRound    `json:"gp,omitempty"`
 	Route  *obs.RouteRound `json:"route,omitempty"`
 }

@@ -74,6 +74,11 @@ type Spec struct {
 	// Evaluate globally routes the final placement and scores RC/sHPWL
 	// into the report metrics, like cmd/placer -evaluate.
 	Evaluate bool `json:"evaluate,omitempty"`
+	// Checkpoint is an encoded snap.State the job resumes from instead of
+	// starting the flow fresh (base64 in JSON). The fleet coordinator uses
+	// it to hand a reassigned job's last journaled checkpoint to the new
+	// worker; it is rejected on the coordinator's own public API.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
 }
 
 // Job is one submitted placement run.
@@ -211,6 +216,51 @@ func (j *Job) Events(from int) ([]Event, bool, <-chan struct{}) {
 	return j.broker.since(from)
 }
 
+// Resume returns the checkpoint the job should restart from: the one
+// recovered from its journal after a daemon restart, or the one carried in
+// Spec.Checkpoint by a fleet reassignment. Nil for fresh runs.
+func (j *Job) Resume() *snap.State { return j.resume }
+
+// PublishObs feeds a telemetry event into the job's progress stream — the
+// hook a custom Options.Runner uses to emit gp/route rounds the way the
+// default placement body does through its recorder.
+func (j *Job) PublishObs(e obs.Event) { j.broker.publishObs(e) }
+
+// SetArtifacts stores the run outputs (report JSON, placed .pl, captured
+// heatmaps, Chrome trace). The default placement body calls it before the
+// job turns terminal so a client woken by the terminal event always sees
+// them; custom runners use it the same way.
+func (j *Job) SetArtifacts(report, pl []byte, heatmaps []obs.Heatmap, trace []byte) {
+	j.mu.Lock()
+	j.report = report
+	j.pl = pl
+	j.heatmaps = heatmaps
+	j.trace = trace
+	j.mu.Unlock()
+}
+
+// SaveCheckpoint journals a placement checkpoint for the job. Without a
+// state directory it is a no-op: checkpoints only exist where they can
+// survive the process. The write is atomic, so a concurrent
+// CheckpointBytes read never sees a torn file.
+func (j *Job) SaveCheckpoint(st *snap.State) error {
+	if j.journal == nil {
+		return nil
+	}
+	return snap.WriteFile(j.journal.checkpointPath(), st)
+}
+
+// CheckpointBytes returns the job's latest journaled checkpoint, nil when
+// none was taken (or the manager has no state directory). The fleet
+// coordinator polls this through GET /jobs/{id}/checkpoint so a reassigned
+// job can resume on another worker.
+func (j *Job) CheckpointBytes() []byte {
+	if j.journal == nil {
+		return nil
+	}
+	return readFileOrNil(j.journal.checkpointPath())
+}
+
 // setRunning transitions queued → running, installing the cancel hook.
 // It returns false when the job is no longer queued (canceled while
 // waiting), in which case the worker must skip it.
@@ -226,17 +276,6 @@ func (j *Job) setRunning(cancel func()) bool {
 	j.mu.Unlock()
 	j.broker.publish(Event{Type: EventState, State: StateRunning})
 	return true
-}
-
-// setArtifacts stores the run outputs (called before finish so a client
-// woken by the terminal event always sees them).
-func (j *Job) setArtifacts(report, pl []byte, heatmaps []obs.Heatmap, trace []byte) {
-	j.mu.Lock()
-	j.report = report
-	j.pl = pl
-	j.heatmaps = heatmaps
-	j.trace = trace
-	j.mu.Unlock()
 }
 
 // finish moves the job to a terminal state, publishes the terminal event

@@ -18,6 +18,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/gen"
 	"repro/internal/obs/hist"
+	"repro/internal/snap"
 	"repro/internal/store"
 )
 
@@ -137,11 +138,19 @@ func NewManager(opt Options) (*Manager, error) {
 // Returns ErrQueueFull when the queue is at capacity, ErrShuttingDown
 // during drain, and an ErrBadSpec-wrapped error for client mistakes.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
-	if err := validateSpec(spec); err != nil {
+	if err := ValidateSpec(spec); err != nil {
 		return nil, err
 	}
 	if _, err := core.New(spec.Config); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	var resume *snap.State
+	if len(spec.Checkpoint) > 0 {
+		st, err := snap.Decode(spec.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad checkpoint: %w", ErrBadSpec, err)
+		}
+		resume = st
 	}
 	var d *db.Design
 	if m.opt.Runner == nil {
@@ -180,6 +189,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	j.state = StateQueued
 	j.submitted = time.Now()
 	j.design = d
+	j.resume = resume
 	j.storeKey = storeKey
 	if m.opt.StateDir != "" {
 		jj, err := openJobJournal(m.jobDir(j.ID))
@@ -358,8 +368,10 @@ func (m *Manager) runBody(ctx context.Context, j *Job) (err error) {
 	return m.placeJob(ctx, j)
 }
 
-// validateSpec enforces "exactly one design source".
-func validateSpec(spec Spec) error {
+// ValidateSpec enforces "exactly one design source". The fleet
+// coordinator runs the same check at its edge so bad submissions are
+// rejected before they touch a worker.
+func ValidateSpec(spec Spec) error {
 	n := 0
 	for _, set := range []bool{spec.Aux != "", spec.Synth != "", spec.Generate != nil, len(spec.Files) > 0} {
 		if set {
@@ -372,12 +384,21 @@ func validateSpec(spec Spec) error {
 	return nil
 }
 
-// loadDesign materializes the spec's design, classifying client mistakes
-// as ErrBadSpec.
+// loadDesign materializes the spec's design against the manager's allow
+// directory.
 func (m *Manager) loadDesign(spec Spec) (*db.Design, error) {
+	return LoadDesign(spec, m.opt.AllowDir)
+}
+
+// LoadDesign materializes the spec's design, classifying client mistakes
+// as ErrBadSpec. Path (.aux) jobs are only honored inside allowDir; an
+// empty allowDir disables them. The fleet coordinator shares this loader
+// so its dedup fingerprints are computed over exactly the design a worker
+// would place.
+func LoadDesign(spec Spec, allowDir string) (*db.Design, error) {
 	switch {
 	case spec.Aux != "":
-		path, err := m.allowedAux(spec.Aux)
+		path, err := allowedAux(spec.Aux, allowDir)
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +424,7 @@ func (m *Manager) loadDesign(spec Spec) (*db.Design, error) {
 		}
 		return d, nil
 	default:
-		return m.loadInline(spec.Files)
+		return loadInline(spec.Files)
 	}
 }
 
@@ -437,11 +458,11 @@ func synthConfig(name string, seed int64) (gen.Config, bool) {
 }
 
 // allowedAux validates a path job against the allow directory.
-func (m *Manager) allowedAux(aux string) (string, error) {
-	if m.opt.AllowDir == "" {
+func allowedAux(aux, allowDir string) (string, error) {
+	if allowDir == "" {
 		return "", fmt.Errorf("%w: path jobs are disabled (no allow directory configured)", ErrBadSpec)
 	}
-	root, err := filepath.Abs(m.opt.AllowDir)
+	root, err := filepath.Abs(allowDir)
 	if err != nil {
 		return "", err
 	}
@@ -459,7 +480,7 @@ func (m *Manager) allowedAux(aux string) (string, error) {
 
 // loadInline writes an inline Bookshelf bundle to a temp directory,
 // synthesizing an .aux when absent, and reads it back as a design.
-func (m *Manager) loadInline(files map[string]string) (*db.Design, error) {
+func loadInline(files map[string]string) (*db.Design, error) {
 	dir, err := os.MkdirTemp("", "placerd-job-")
 	if err != nil {
 		return nil, err

@@ -3,13 +3,12 @@ package serve
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/obs/hist"
 )
@@ -63,17 +62,10 @@ func (s *stats) observeStages(rep *obs.Report) {
 }
 
 // buildInfoLabels renders the placerd_build_info label set once: the Go
-// toolchain version plus the VCS revision when the binary carries one.
+// toolchain version plus the VCS revision when the binary carries one
+// (shared with the -version flag through internal/buildinfo).
 var buildInfoLabels = sync.OnceValue(func() string {
-	revision := "unknown"
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			if s.Key == "vcs.revision" {
-				revision = s.Value
-			}
-		}
-	}
-	return fmt.Sprintf("go_version=%q,revision=%q", runtime.Version(), revision)
+	return fmt.Sprintf("go_version=%q,revision=%q", buildinfo.GoVersion(), buildinfo.Revision())
 })
 
 // writeMetrics renders the Prometheus text exposition for the manager.

@@ -36,10 +36,16 @@ const (
 	specFile       = "spec.json"
 	eventsFile     = "events.jsonl"
 	checkpointFile = "checkpoint.snap"
-	reportFile     = "report.json"
-	resultFile     = "result.pl"
-	heatmapsFile   = "heatmaps.json"
-	traceFile      = "trace.json"
+)
+
+// Artifact file names, shared between the job journal, the artifact store
+// and the fleet coordinator (which fetches them from workers and caches
+// them under the same names).
+const (
+	ReportFile   = "report.json"
+	ResultFile   = "result.pl"
+	HeatmapsFile = "heatmaps.json"
+	TraceFile    = "trace.json"
 )
 
 // jobRecord is the durable form of a submission (spec.json).
@@ -220,10 +226,10 @@ func (m *Manager) recoverJob(id string) (j *Job, runnable bool, err error) {
 	if last.Terminal() {
 		j.state = last
 		j.errMsg = errMsg
-		j.report = readFileOrNil(filepath.Join(dir, reportFile))
-		j.pl = readFileOrNil(filepath.Join(dir, resultFile))
-		j.trace = readFileOrNil(filepath.Join(dir, traceFile))
-		if hb := readFileOrNil(filepath.Join(dir, heatmapsFile)); hb != nil {
+		j.report = readFileOrNil(filepath.Join(dir, ReportFile))
+		j.pl = readFileOrNil(filepath.Join(dir, ResultFile))
+		j.trace = readFileOrNil(filepath.Join(dir, TraceFile))
+		if hb := readFileOrNil(filepath.Join(dir, HeatmapsFile)); hb != nil {
 			json.Unmarshal(hb, &j.heatmaps)
 		}
 		j.broker.closeStream()

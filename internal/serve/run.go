@@ -39,10 +39,9 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 	}
 	cfg.Obs = rec
 	if j.journal != nil {
-		ckPath := j.journal.checkpointPath()
 		cfg.CheckpointEvery = m.opt.CheckpointEvery
 		cfg.Checkpoint = func(st *snap.State) {
-			if err := snap.WriteFile(ckPath, st); err != nil {
+			if err := j.SaveCheckpoint(st); err != nil {
 				m.opt.Logger.Warn("checkpoint write failed", "job", j.ID, "err", err)
 			}
 		}
@@ -118,28 +117,28 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		pl = plBuf.Bytes()
 	}
 	heats := rec.Heatmaps()
-	j.setArtifacts(repBuf.Bytes(), pl, heats, traceBuf.Bytes())
+	j.SetArtifacts(repBuf.Bytes(), pl, heats, traceBuf.Bytes())
 
 	var heatsJSON []byte
 	if j.Spec.Heatmaps && len(heats) > 0 {
 		heatsJSON, _ = json.Marshal(heats)
 	}
 	if j.journal != nil {
-		j.journal.saveArtifact(reportFile, repBuf.Bytes())
-		j.journal.saveArtifact(resultFile, pl)
-		j.journal.saveArtifact(heatmapsFile, heatsJSON)
-		j.journal.saveArtifact(traceFile, traceBuf.Bytes())
+		j.journal.saveArtifact(ReportFile, repBuf.Bytes())
+		j.journal.saveArtifact(ResultFile, pl)
+		j.journal.saveArtifact(HeatmapsFile, heatsJSON)
+		j.journal.saveArtifact(TraceFile, traceBuf.Bytes())
 	}
 	// A successfully completed run feeds the artifact store, so the next
 	// identical submission is answered from disk.
 	if placeErr == nil && m.store != nil && j.storeKey != "" {
 		arts := map[string][]byte{
-			reportFile: repBuf.Bytes(),
-			resultFile: pl,
-			traceFile:  traceBuf.Bytes(),
+			ReportFile: repBuf.Bytes(),
+			ResultFile: pl,
+			TraceFile:  traceBuf.Bytes(),
 		}
 		if heatsJSON != nil {
-			arts[heatmapsFile] = heatsJSON
+			arts[HeatmapsFile] = heatsJSON
 		}
 		if err := m.store.Put(j.storeKey, arts); err != nil {
 			m.opt.Logger.Warn("artifact store put failed", "job", j.ID, "err", err)

@@ -66,6 +66,7 @@ func NewServer(m *Manager, opt ServerOptions) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /jobs/{id}/result.pl", s.handleResultPl)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /jobs/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /jobs/{id}/heatmaps", s.handleHeatmapList)
 	s.mux.HandleFunc("GET /jobs/{id}/heatmaps/{label}", s.handleHeatmap)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -94,25 +95,33 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// QueueDepth and QueueCap are set on 429 queue-full rejections so a
+	// client can size its backoff against how congested the daemon is.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	QueueCap   int `json:"queue_cap,omitempty"`
 }
 
 // writeErr maps manager errors onto HTTP semantics: client mistakes are
-// 400, a full queue is 429 with a Retry-After hint, drain is 503,
-// unknown jobs are 404, everything else is 500.
+// 400, a full queue is 429 with a Retry-After hint and the live queue
+// gauges in the body, drain is 503, unknown jobs are 404, everything else
+// is 500.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
+	body := errorBody{Error: err.Error()}
 	switch {
 	case errors.Is(err, ErrBadSpec):
 		code = http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfterSec))
 		code = http.StatusTooManyRequests
+		body.QueueDepth = s.m.QueueDepth()
+		body.QueueCap = s.m.QueueCap()
 	case errors.Is(err, ErrShuttingDown):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownJob):
 		code = http.StatusNotFound
 	}
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	writeJSON(w, code, body)
 }
 
 // submitResponse is the 202 body of a successful submission.
@@ -124,11 +133,12 @@ type submitResponse struct {
 func jobLinks(id string) map[string]string {
 	base := "/jobs/" + id
 	return map[string]string{
-		"self":   base,
-		"events": base + "/events",
-		"report": base + "/report",
-		"result": base + "/result.pl",
-		"trace":  base + "/trace",
+		"self":       base,
+		"events":     base + "/events",
+		"report":     base + "/report",
+		"result":     base + "/result.pl",
+		"trace":      base + "/trace",
+		"checkpoint": base + "/checkpoint",
 	}
 }
 
@@ -278,6 +288,24 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(tr)
+}
+
+// handleCheckpoint serves the job's latest journaled placement checkpoint
+// (snap codec bytes). The fleet coordinator polls it while a job runs so a
+// reassignment after worker death can resume from the last journaled
+// round instead of starting over.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	ck := j.CheckpointBytes()
+	if ck == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("job %s has no checkpoint", j.ID)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(ck)
 }
 
 func (s *Server) handleHeatmapList(w http.ResponseWriter, r *http.Request) {
