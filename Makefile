@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp benchdiff serve test-serve test-store test-dp test-fleet fuzz-smoke
+.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp bench-estimate benchdiff serve test-serve test-store test-dp test-estimate test-fleet fuzz-smoke
 
 all: check
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/... ./internal/fleet/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/... ./internal/estimate/... ./internal/fleet/...
 
 # Run the placement job server locally (see DESIGN.md §9).
 serve:
@@ -81,6 +81,15 @@ test-fleet:
 test-dp:
 	$(GO) test -race -v ./internal/incr/ ./internal/dp/ ./internal/legal/
 
+# Routability-estimator suite alone, race-checked: incremental-vs-full
+# bitwise differentials, router-correlation drift gate, cross-worker
+# determinism, and the estimate-mode placer/DP/serving wiring
+# (see DESIGN.md §14).
+test-estimate:
+	$(GO) test -race -v ./internal/estimate/
+	$(GO) test -race -run 'Estimate' -v ./internal/core/ ./internal/dp/
+	$(GO) test -race -run 'TestStatusCongestionSource' -v ./internal/serve/
+
 # Detailed-placement hot-path benchmark plus the machine-readable
 # BENCH_dp.json: incremental engine vs. the recompute baseline across
 # worker counts. BENCH_DP_FLAGS trims it for CI.
@@ -89,17 +98,31 @@ bench-dp:
 	$(GO) test -bench Optimize -benchmem -run xxx ./internal/dp/
 	$(GO) run ./cmd/benchdp $(BENCH_DP_FLAGS)
 
-# Bench regression gate: fresh benchroute/benchdp runs land in .bench/
-# (gitignored) and are diffed against the committed BENCH_*.json
+# Routability-estimator benchmark plus the machine-readable
+# BENCH_estimate.json: recompute/incremental throughput, correlation
+# against the real router, and the estimate-vs-route placer comparison.
+# benchest self-gates (signal speedup ≥ 2x, pearson ≥ 0.6, routed quality
+# within 5% of route mode); BENCHEST_FLAGS must stay in sync with the
+# benchdiff recipe below so baseline and current runs share keys.
+BENCHEST_FLAGS ?=
+bench-estimate:
+	$(GO) test -bench . -benchmem -run xxx ./internal/estimate/
+	$(GO) run ./cmd/benchest $(BENCHEST_FLAGS) -out BENCH_estimate.json
+
+# Bench regression gate: fresh benchroute/benchdp/benchest runs land in
+# .bench/ (gitignored) and are diffed against the committed BENCH_*.json
 # baselines. Exits non-zero on a regression. Wall time is gated loosely
 # by default because machines differ; BENCHDIFF_FLAGS widens or tightens
-# every gate (see cmd/benchdiff -h).
+# every gate (see cmd/benchdiff -h). A missing committed baseline passes
+# with a note; a baseline run missing from the fresh results fails.
 BENCHDIFF_FLAGS ?= -max-wall-ratio 10
 benchdiff:
 	@mkdir -p .bench
 	$(GO) run ./cmd/benchroute -workers 1 -out .bench/router.json
 	$(GO) run ./cmd/benchdp -out .bench/dp.json
 	@fail=0; \
+	$(GO) run ./cmd/benchest $(BENCHEST_FLAGS) -out .bench/estimate.json || fail=1; \
 	$(GO) run ./cmd/benchdiff -baseline BENCH_router.json -current .bench/router.json $(BENCHDIFF_FLAGS) || fail=1; \
 	$(GO) run ./cmd/benchdiff -baseline BENCH_dp.json -current .bench/dp.json $(BENCHDIFF_FLAGS) || fail=1; \
+	$(GO) run ./cmd/benchdiff -baseline BENCH_estimate.json -current .bench/estimate.json $(BENCHDIFF_FLAGS) || fail=1; \
 	exit $$fail

@@ -21,6 +21,17 @@
 //   - overflow / max_congestion / hpwl_after  -max-quality-ratio
 //     (default 1.01): result quality is deterministic at fixed seed and
 //     worker count; any growth beyond float jitter is a regression.
+//   - speedup / pearson / hotspot_overlap  -min-ratio (default 1.25):
+//     higher-is-better metrics (cmd/benchest) are gated from below —
+//     they fail when the current value falls under baseline divided by
+//     the ratio. Speedup is wall-clock-derived, so it shares wall
+//     noise; correlation is deterministic at fixed seed.
+//
+// A missing baseline *file* is tolerated: the comparison passes with a
+// note telling the author to commit one, so a brand-new benchmark can
+// land in the same PR as its gate without a chicken-and-egg failure. A
+// baseline *run* missing from the current results stays a hard failure —
+// that means coverage silently shrank.
 //
 // A markdown summary of every compared metric goes to -out (default
 // stdout), so CI can publish the table as a step summary.
@@ -54,6 +65,7 @@ func run() (int, error) {
 		wallRatio    = flag.Float64("max-wall-ratio", 1.5, "fail when wall_seconds grows past this ratio")
 		allocRatio   = flag.Float64("max-alloc-ratio", 1.1, "fail when allocs_per_op or bytes_per_op grows past this ratio (plus a small absolute slack)")
 		qualityRatio = flag.Float64("max-quality-ratio", 1.01, "fail when overflow, max_congestion or hpwl_after grows past this ratio")
+		minRatio     = flag.Float64("min-ratio", 1.25, "fail when a higher-is-better metric (speedup, pearson, hotspot_overlap) falls below baseline divided by this ratio")
 		outPath      = flag.String("out", "-", "markdown summary destination (- = stdout)")
 	)
 	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
@@ -67,6 +79,13 @@ func run() (int, error) {
 	}
 
 	base, err := readBenchFile(*baselinePath)
+	if os.IsNotExist(err) {
+		// New benchmark, no committed baseline yet: pass with a note so
+		// the benchmark and its gate can land in one PR. The current
+		// results are still summarized for the author to commit.
+		fmt.Fprintf(os.Stderr, "benchdiff: note: baseline %s does not exist; passing ungated — commit the current results as the baseline to arm the gate\n", *baselinePath)
+		return 0, nil
+	}
 	if err != nil {
 		return 0, fmt.Errorf("reading baseline: %w", err)
 	}
@@ -79,6 +98,7 @@ func run() (int, error) {
 		WallRatio:    *wallRatio,
 		AllocRatio:   *allocRatio,
 		QualityRatio: *qualityRatio,
+		MinRatio:     *minRatio,
 	})
 	md := res.markdown(*baselinePath, *currentPath)
 	if *outPath == "-" {
@@ -108,6 +128,11 @@ type benchRun struct {
 	Overflow      float64 `json:"overflow"`
 	MaxCongestion float64 `json:"max_congestion"`
 	HPWLAfter     float64 `json:"hpwl_after"`
+
+	// Higher-is-better metrics (cmd/benchest), gated from below.
+	Speedup        float64 `json:"speedup"`
+	Pearson        float64 `json:"pearson"`
+	HotspotOverlap float64 `json:"hotspot_overlap"`
 }
 
 // key identifies a run across the two files.
@@ -139,6 +164,7 @@ type thresholds struct {
 	WallRatio    float64
 	AllocRatio   float64
 	QualityRatio float64
+	MinRatio     float64
 }
 
 // Absolute slacks under the ratio gates: tiny per-op baselines (a DP
@@ -152,7 +178,8 @@ const (
 // row is one compared metric.
 type row struct {
 	Run, Metric    string
-	Base, Cur, Max float64 // Max is the allowed ceiling; 0 = informational
+	Base, Cur, Max float64 // Max is the allowed ceiling (or floor, see Min)
+	Min            bool    // higher-is-better metric: Max is a floor
 	Regressed      bool
 	Note           string
 }
@@ -193,6 +220,9 @@ func diff(base, cur benchFile, th thresholds) *result {
 		res.compare(b.key(), "overflow", b.Overflow, c.Overflow, th.QualityRatio, 0)
 		res.compare(b.key(), "max_congestion", b.MaxCongestion, c.MaxCongestion, th.QualityRatio, 0)
 		res.compare(b.key(), "hpwl_after", b.HPWLAfter, c.HPWLAfter, th.QualityRatio, 0)
+		res.compareMin(b.key(), "speedup", b.Speedup, c.Speedup, th.MinRatio)
+		res.compareMin(b.key(), "pearson", b.Pearson, c.Pearson, th.MinRatio)
+		res.compareMin(b.key(), "hotspot_overlap", b.HotspotOverlap, c.HotspotOverlap, th.MinRatio)
 	}
 	sort.SliceStable(res.rows, func(i, j int) bool {
 		if res.rows[i].Regressed != res.rows[j].Regressed {
@@ -217,6 +247,21 @@ func (res *result) compare(run, metric string, base, cur, ratio, slack float64) 
 	})
 }
 
+// compareMin gates one higher-is-better metric: current must stay at or
+// above base/ratio. Skipped, like compare, when either side is zero
+// (metric absent from that file's schema).
+func (res *result) compareMin(run, metric string, base, cur, ratio float64) {
+	if base == 0 || cur == 0 || ratio <= 0 {
+		return
+	}
+	min := base / ratio
+	res.rows = append(res.rows, row{
+		Run: run, Metric: metric,
+		Base: base, Cur: cur, Max: min, Min: true,
+		Regressed: cur < min,
+	})
+}
+
 // markdown renders the comparison as a GitHub-flavored table.
 func (res *result) markdown(basePath, curPath string) string {
 	var b strings.Builder
@@ -238,8 +283,12 @@ func (res *result) markdown(basePath, curPath string) string {
 		if r.Regressed {
 			status = "❌ regressed"
 		}
-		fmt.Fprintf(&b, "| %s | %s | %.6g | %.6g | %+.2f%% | %.6g | %s |\n",
-			r.Run, r.Metric, r.Base, r.Cur, 100*(r.Cur/r.Base-1), r.Max, status)
+		allowed := fmt.Sprintf("≤ %.6g", r.Max)
+		if r.Min {
+			allowed = fmt.Sprintf("≥ %.6g", r.Max)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.6g | %.6g | %+.2f%% | %s | %s |\n",
+			r.Run, r.Metric, r.Base, r.Cur, 100*(r.Cur/r.Base-1), allowed, status)
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -121,6 +121,65 @@ func TestDiffSkipsAbsentMetrics(t *testing.T) {
 	}
 }
 
+// TestMissingBaselineFilePasses pins the bootstrap path: a fresh
+// benchmark whose baseline was never committed passes with a note (exit
+// 0), so a new bench and its gate can land in the same PR. A missing
+// *current* file stays an error (TestBadInputs) and a missing baseline
+// *run* stays a failure (TestMissingRunIsARegression).
+func TestMissingBaselineFilePasses(t *testing.T) {
+	code, err := runCLI(t, "-baseline", "testdata/never-committed.json", "-current", "testdata/ok.json")
+	if err != nil {
+		t.Fatalf("missing baseline file errored: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("missing baseline file: exit %d, want 0 (pass with note)", code)
+	}
+}
+
+// TestMinGates covers the higher-is-better floors: speedup and pearson
+// (cmd/benchest) must not fall below baseline divided by -min-ratio, may
+// improve without bound, and are skipped entirely for schemas that lack
+// them.
+func TestMinGates(t *testing.T) {
+	th := thresholds{WallRatio: 1.5, AllocRatio: 1.1, QualityRatio: 1.01, MinRatio: 1.25}
+	mk := func(speedup, pearson float64) benchFile {
+		return benchFile{Runs: []benchRun{{
+			Design: "d", Cells: 10, Workers: 1, WallSeconds: 1,
+			Speedup: speedup, Pearson: pearson,
+		}}}
+	}
+	base := mk(5.0, 0.9)
+
+	res := diff(base, mk(4.2, 0.75), th) // above floors 4.0 and 0.72
+	if regs := res.regressions(); len(regs) != 0 {
+		t.Errorf("within-floor current flagged: %+v", regs)
+	}
+
+	res = diff(base, mk(3.0, 0.5), th) // below both floors
+	var gated []string
+	for _, r := range res.regressions() {
+		if !r.Min {
+			t.Errorf("floor regression not marked Min: %+v", r)
+		}
+		gated = append(gated, r.Metric)
+	}
+	if len(gated) != 2 {
+		t.Errorf("regressed metrics = %v, want [speedup pearson]", gated)
+	}
+
+	res = diff(base, mk(50, 0.99), th) // improvement is unbounded
+	if regs := res.regressions(); len(regs) != 0 {
+		t.Errorf("improvement flagged: %+v", regs)
+	}
+
+	res = diff(mk(0, 0), mk(0, 0), th) // schema without the metrics
+	for _, r := range res.rows {
+		if r.Metric == "speedup" || r.Metric == "pearson" || r.Metric == "hotspot_overlap" {
+			t.Errorf("floor row emitted for absent metric: %+v", r)
+		}
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	if _, err := runCLI(t); err == nil {
 		t.Error("missing flags accepted")

@@ -1,0 +1,395 @@
+// Command benchest is the benchmark driver for the probabilistic
+// routability estimator (internal/estimate). It emits a machine-readable
+// JSON report (BENCH_estimate.json by default) with three measurement
+// groups so the estimator's perf and fidelity can be tracked across
+// commits and gated by cmd/benchdiff:
+//
+//   - Full-recompute throughput (tiles/s) and incremental per-move update
+//     rate (moves/s, allocs/op) on a congested synthetic design.
+//   - Correlation against the real negotiated router on the same design:
+//     per-tile Pearson, Spearman and hotspot overlap — the drift signal.
+//   - End-to-end placer comparison: the same design placed once with the
+//     router every routability round and once in estimate mode (router
+//     only for the trailing rounds), with the final routed quality of
+//     both and two speedups. The *signal* speedup is the gated one: the
+//     wall clock of producing the loop's congestion maps (N reduced-
+//     budget routes vs N−k estimates + k routes, measured on the same
+//     placed design) — exactly the work the estimator replaces, and
+//     where it must stay well ahead (≥2x, typically ~6x). The total-wall
+//     ratio is reported alongside but not floor-gated: this flow's loop
+//     router runs at a reduced rip-up budget and is only ~15% of the
+//     whole placement (GP and the per-round respread dominate), so the
+//     whole-flow ratio hovers near 1x by construction and mostly
+//     measures GP noise.
+//
+// The report doubles as a self-checking gate: -min-speedup, -min-pearson
+// and -quality-delta make the run itself fail when estimate mode stops
+// paying for itself, so CI catches regressions even before benchdiff
+// compares against the committed baseline.
+//
+// Usage:
+//
+//	go run ./cmd/benchest                      # full suite -> BENCH_estimate.json
+//	go run ./cmd/benchest -cells 1200 -e2e=false -out -   # correlation smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/estimate"
+	"repro/internal/gen"
+	"repro/internal/geom"
+	"repro/internal/incr"
+	"repro/internal/route"
+)
+
+// Run is the micro + correlation measurement for one configuration. The
+// JSON field names line up with cmd/benchdiff's gated schema: higher-is-
+// better metrics (pearson, hotspot_overlap) get min-gates there.
+type Run struct {
+	Design  string `json:"design"`
+	Cells   int    `json:"cells"`
+	Workers int    `json:"workers"`
+	Tiles   int    `json:"tiles"`
+
+	// WallSeconds is one full Recompute, best of -repeat.
+	WallSeconds float64 `json:"wall_seconds"`
+	TilesPerSec float64 `json:"tiles_per_sec"`
+
+	// Incremental per-move update cost, measured over a long warm
+	// move/move-back loop through the attached incr cache.
+	IncMovesPerSec float64 `json:"inc_moves_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+
+	// Correlation of the estimate against the real router's per-tile
+	// congestion on this design.
+	Pearson        float64 `json:"pearson"`
+	Spearman       float64 `json:"spearman"`
+	HotspotOverlap float64 `json:"hotspot_overlap"`
+	CorrTiles      int     `json:"corr_tiles"`
+
+	// Populated only on the flattened e2e row (design "<name>/e2e"):
+	// the min-gated signal speedup and the estimate-mode routed quality,
+	// in benchdiff's gated field names.
+	Speedup       float64 `json:"speedup,omitempty"`
+	Overflow      float64 `json:"overflow,omitempty"`
+	MaxCongestion float64 `json:"max_congestion,omitempty"`
+	HPWLAfter     float64 `json:"hpwl_after,omitempty"`
+}
+
+// E2E is the placer-level comparison. It is also flattened into the runs
+// array (design name suffixed "/e2e") so benchdiff gates speedup and the
+// estimate-mode routed quality against the committed baseline.
+type E2E struct {
+	Design           string `json:"design"`
+	Cells            int    `json:"cells"`
+	Workers          int    `json:"workers"`
+	RoutabilityIters int    `json:"routability_iters"`
+	RouteLastRounds  int    `json:"route_last_rounds"`
+
+	// Whole-placement walls (informational — GP-dominated, see package
+	// doc) and the gated congestion-signal walls.
+	RouteWallSeconds    float64 `json:"route_wall_seconds"`
+	EstimateWallSeconds float64 `json:"wall_seconds"`
+	E2ESpeedup          float64 `json:"e2e_speedup"`
+
+	// Signal walls: RoutabilityIters congestion maps produced the
+	// route-every-round way vs the estimate-mode way, on the same placed
+	// design at the loop's router budget. Speedup = route/estimate; this
+	// is the min-gated "speedup" row in benchdiff.
+	SignalRouteSeconds    float64 `json:"signal_route_seconds"`
+	SignalEstimateSeconds float64 `json:"signal_estimate_seconds"`
+	Speedup               float64 `json:"speedup"`
+
+	// Final routed quality of each mode's placement (independent
+	// route.EvaluateDesign on the placed design).
+	RouteOverflow    float64 `json:"route_overflow"`
+	EstimateOverflow float64 `json:"overflow"`
+	RouteMaxCong     float64 `json:"route_max_congestion"`
+	EstimateMaxCong  float64 `json:"max_congestion"`
+	RouteHPWL        float64 `json:"route_hpwl"`
+	EstimateHPWL     float64 `json:"hpwl_after"`
+}
+
+// Report is the whole emitted document. E2E entries appear both under
+// their own key and inside Runs (as benchdiff rows).
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       []Run  `json:"runs"`
+	E2E        []E2E  `json:"e2e,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("out", "BENCH_estimate.json", "output file (- for stdout)")
+		cells    = flag.Int("cells", 2500, "benchmark design size")
+		workers  = flag.Int("workers", 4, "estimator/placer worker count (fixed, not machine-derived, so benchdiff keys match across hosts)")
+		seed     = flag.Int64("seed", 21, "benchmark design seed")
+		repeat   = flag.Int("repeat", 3, "timed repetitions per micro measurement (best wall time wins)")
+		e2e      = flag.Bool("e2e", true, "run the end-to-end placer comparison (route-every-round vs estimate mode)")
+		iters    = flag.Int("iters", 6, "routability iterations for the e2e comparison")
+		lastN    = flag.Int("route-last", 1, "trailing router rounds in estimate mode for the e2e comparison")
+		minSpeed = flag.Float64("min-speedup", 2.0, "fail when the congestion-signal speedup falls below this (0 disables)")
+		minPear  = flag.Float64("min-pearson", 0.6, "fail when the estimator/router Pearson correlation falls below this (0 disables)")
+		qualTol  = flag.Float64("quality-delta", 0.05, "fail when estimate-mode routed overflow or max congestion exceeds route mode by more than this fraction (negative disables)")
+	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	r, err := measureMicro(*cells, *seed, *workers, *repeat)
+	if err != nil {
+		return err
+	}
+	rep.Runs = append(rep.Runs, r)
+	fmt.Fprintf(os.Stderr, "%s cells=%d workers=%d: %d tiles, %.0f tiles/s full, %.0f moves/s incremental (%.2f allocs/op), pearson %.3f spearman %.3f overlap %.2f\n",
+		r.Design, r.Cells, r.Workers, r.Tiles, r.TilesPerSec, r.IncMovesPerSec, r.AllocsPerOp, r.Pearson, r.Spearman, r.HotspotOverlap)
+
+	var failures []string
+	if *minPear > 0 && r.Pearson < *minPear {
+		failures = append(failures, fmt.Sprintf("pearson %.3f below floor %.3f", r.Pearson, *minPear))
+	}
+
+	if *e2e {
+		e, err := measureE2E(*cells, *seed, *workers, *iters, *lastN)
+		if err != nil {
+			return err
+		}
+		rep.E2E = append(rep.E2E, e)
+		rep.Runs = append(rep.Runs, e2eRun(e))
+		fmt.Fprintf(os.Stderr, "%s e2e iters=%d: wall route %.2fs vs estimate %.2fs (%.2fx); signal %.3fs vs %.3fs (%.1fx); overflow %.0f->%.0f, maxcong %.2f->%.2f\n",
+			e.Design, e.RoutabilityIters, e.RouteWallSeconds, e.EstimateWallSeconds, e.E2ESpeedup,
+			e.SignalRouteSeconds, e.SignalEstimateSeconds, e.Speedup,
+			e.RouteOverflow, e.EstimateOverflow, e.RouteMaxCong, e.EstimateMaxCong)
+		if *minSpeed > 0 && e.Speedup < *minSpeed {
+			failures = append(failures, fmt.Sprintf("congestion-signal speedup %.2fx below floor %.2fx", e.Speedup, *minSpeed))
+		}
+		if *qualTol >= 0 {
+			// Absolute slack mirrors benchdiff: a tiny routed overflow
+			// baseline would turn float jitter into a gate failure.
+			const overflowSlack = 2.0
+			if lim := e.RouteOverflow*(1+*qualTol) + overflowSlack; e.EstimateOverflow > lim {
+				failures = append(failures, fmt.Sprintf("estimate-mode overflow %.1f exceeds route-mode %.1f by more than %.0f%%",
+					e.EstimateOverflow, e.RouteOverflow, 100**qualTol))
+			}
+			if lim := e.RouteMaxCong * (1 + *qualTol); e.EstimateMaxCong > lim {
+				failures = append(failures, fmt.Sprintf("estimate-mode max congestion %.3f exceeds route-mode %.3f by more than %.0f%%",
+					e.EstimateMaxCong, e.RouteMaxCong, 100**qualTol))
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	} else {
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchest: GATE FAILED:", f)
+		}
+		return fmt.Errorf("%d gate(s) failed", len(failures))
+	}
+	return nil
+}
+
+// e2eRun flattens the e2e comparison into a benchdiff row. The design
+// name is suffixed so the key does not collide with the micro run.
+func e2eRun(e E2E) Run {
+	return Run{
+		Design: e.Design + "/e2e", Cells: e.Cells, Workers: e.Workers,
+		WallSeconds: e.EstimateWallSeconds,
+		Speedup:     e.Speedup,
+		Overflow:    e.EstimateOverflow, MaxCongestion: e.EstimateMaxCong,
+		HPWLAfter: e.EstimateHPWL,
+	}
+}
+
+// measureMicro times a full recompute and the incremental move path, and
+// scores the estimate against the real router, all on one design.
+func measureMicro(cells int, seed int64, workers, repeat int) (Run, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	d, err := gen.Generate(gen.Congested(cells, seed))
+	if err != nil {
+		return Run{}, err
+	}
+	g, err := route.NewGrid(d)
+	if err != nil {
+		return Run{}, err
+	}
+	e := estimate.New(g, estimate.Options{Workers: workers})
+
+	run := Run{Design: d.Name, Cells: cells, Workers: workers, Tiles: e.Tiles()}
+
+	// Full recompute: best single-call wall time out of repeat batches.
+	const recomputesPerBatch = 10
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < repeat; i++ {
+		t0 := time.Now()
+		for j := 0; j < recomputesPerBatch; j++ {
+			e.Recompute(d)
+		}
+		if el := time.Since(t0) / recomputesPerBatch; el < best {
+			best = el
+		}
+	}
+	run.WallSeconds = best.Seconds()
+	if run.WallSeconds > 0 {
+		run.TilesPerSec = float64(run.Tiles) / run.WallSeconds
+	}
+
+	// Correlation against the real router on the same placement.
+	r := route.NewRouter(g, route.RouterOptions{Workers: workers})
+	r.RouteDesign(d)
+	routed := g.TileCongestion()
+	e.Recompute(d)
+	c := estimate.Correlate(e.TileCongestion(), routed, 0)
+	run.Pearson, run.Spearman, run.HotspotOverlap, run.CorrTiles =
+		c.Pearson, c.Spearman, c.HotspotOverlap, c.Tiles
+
+	// Incremental move cost: a warm two-point shuttle through the incr
+	// cache with the estimator attached (the dp guard's steady state).
+	cache := incr.New(d)
+	estimate.Attach(e, cache)
+	ms := d.Movable()
+	ci := ms[len(ms)/2]
+	a := geom.Point{X: g.Origin.X + g.TileW, Y: g.Origin.Y + g.TileH}
+	b := geom.Point{X: g.Origin.X + float64(g.NX-2)*g.TileW, Y: g.Origin.Y + float64(g.NY-2)*g.TileH}
+	cache.Move(ci, a)
+	cache.Move(ci, b) // warm both endpoints
+	moves := 20000 * repeat
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < moves; i++ {
+		if i%2 == 0 {
+			cache.Move(ci, a)
+		} else {
+			cache.Move(ci, b)
+		}
+	}
+	el := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if el > 0 {
+		run.IncMovesPerSec = float64(moves) / el.Seconds()
+	}
+	run.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(moves)
+	run.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(moves)
+	return run, nil
+}
+
+// measureE2E places the same design twice — router every routability
+// round, then estimate mode — evaluates both placements with the real
+// router, and times the congestion-signal production both ways on the
+// route-mode placement.
+func measureE2E(cells int, seed int64, workers, iters, lastN int) (E2E, error) {
+	place := func(src string, lastRounds int) (*db.Design, float64, route.Metrics, error) {
+		d, err := gen.Generate(gen.Congested(cells, seed))
+		if err != nil {
+			return nil, 0, route.Metrics{}, err
+		}
+		cfg := core.Config{
+			Workers:          workers,
+			RoutabilityIters: iters,
+			CongestionSource: src,
+			RouteLastRounds:  lastRounds,
+		}
+		t0 := time.Now()
+		if _, err := core.MustNew(cfg).Place(d); err != nil {
+			return nil, 0, route.Metrics{}, err
+		}
+		wall := time.Since(t0).Seconds()
+		m, err := route.EvaluateDesign(d, route.RouterOptions{Workers: workers})
+		return d, wall, m, err
+	}
+
+	dRoute, routeWall, routeM, err := place("route", 0)
+	if err != nil {
+		return E2E{}, err
+	}
+	_, estWall, estM, err := place("estimate", lastN)
+	if err != nil {
+		return E2E{}, err
+	}
+	e := E2E{
+		Design: dRoute.Name, Cells: cells, Workers: workers,
+		RoutabilityIters: iters, RouteLastRounds: lastN,
+		RouteWallSeconds: routeWall, EstimateWallSeconds: estWall,
+		RouteOverflow: routeM.Overflow, EstimateOverflow: estM.Overflow,
+		RouteMaxCong: routeM.MaxCong, EstimateMaxCong: estM.MaxCong,
+		RouteHPWL: routeM.HPWL, EstimateHPWL: estM.HPWL,
+	}
+	if estWall > 0 {
+		e.E2ESpeedup = routeWall / estWall
+	}
+	if err := measureSignal(&e, dRoute, workers, iters, lastN); err != nil {
+		return E2E{}, err
+	}
+	return e, nil
+}
+
+// measureSignal times one routability loop's worth of congestion maps the
+// route-every-round way (iters reduced-budget routes — the loop's
+// MaxRRRIters 2 budget) and the estimate-mode way (iters−lastN estimator
+// recomputes plus lastN routes) on the same placed design.
+func measureSignal(e *E2E, d *db.Design, workers, iters, lastN int) error {
+	g, err := route.NewGrid(d)
+	if err != nil {
+		return err
+	}
+	r := route.NewRouter(g, route.RouterOptions{MaxRRRIters: 2, Workers: workers})
+	r.RouteDesign(d) // warm the router like the loop's steady state
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		r.RouteDesign(d)
+	}
+	e.SignalRouteSeconds = time.Since(t0).Seconds()
+
+	est := estimate.New(g, estimate.Options{Workers: workers})
+	est.Recompute(d) // warm
+	t0 = time.Now()
+	for i := 0; i < iters-lastN; i++ {
+		est.Recompute(d)
+	}
+	for i := 0; i < lastN; i++ {
+		r.RouteDesign(d)
+	}
+	e.SignalEstimateSeconds = time.Since(t0).Seconds()
+	if e.SignalEstimateSeconds > 0 {
+		e.Speedup = e.SignalRouteSeconds / e.SignalEstimateSeconds
+	}
+	return nil
+}

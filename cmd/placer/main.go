@@ -67,6 +67,8 @@ func run() error {
 		noFence   = flag.Bool("no-fences", false, "strip fence constraints (flat placement)")
 		noDP      = flag.Bool("no-dp", false, "skip detailed placement")
 		routeIter = flag.Int("routability-iters", 0, "routability loop iterations (0 = default)")
+		congSrc   = flag.String("congestion-source", "", "routability congestion signal: route (every round) or estimate (fast RUDY+pin-density estimator for early rounds)")
+		routeLast = flag.Int("route-last-rounds", 0, "with -congestion-source estimate: trailing rounds that still use the real router (0 = default 1)")
 		outDir    = flag.String("out", ".", "output directory")
 		writeAll  = flag.Bool("write-bookshelf", false, "write the full placed Bookshelf bundle")
 		svg       = flag.Bool("svg", false, "write placement and congestion SVGs")
@@ -148,6 +150,8 @@ func run() error {
 		DisableFences:      *noFence,
 		DisableDP:          *noDP,
 		RoutabilityIters:   *routeIter,
+		CongestionSource:   *congSrc,
+		RouteLastRounds:    *routeLast,
 		Obs:                rec,
 	}
 	if *ckDir != "" {

@@ -70,6 +70,8 @@ func run() error {
 		queue    = flag.Int("queue", 16, "bounded job queue size (submissions beyond it get 429)")
 		jobs     = flag.Int("jobs", 1, "jobs run concurrently")
 		workers  = flag.Int("workers", 0, "per-job kernel worker count (0 = auto, honors REPRO_WORKERS)")
+		congSrc  = flag.String("congestion-source", "", "default routability congestion signal for jobs that don't pick one: route or estimate")
+		routeLst = flag.Int("route-last-rounds", 0, "default trailing router rounds for estimate-mode jobs (0 = core default 1)")
 		allowDir = flag.String("allow-dir", "", "directory tree .aux path jobs may reference (empty = path jobs disabled)")
 		stateDir = flag.String("state-dir", "", "durable state directory: job journal, checkpoints and artifact cache (empty = in-memory only)")
 		storeMax = flag.Int64("store-max-bytes", 0, "artifact cache size bound in bytes (0 = 256 MiB, negative = unbounded; needs -state-dir)")
@@ -95,6 +97,11 @@ func run() error {
 	}
 	if *coordinator && *join != "" {
 		return fmt.Errorf("-coordinator and -join are mutually exclusive")
+	}
+	switch *congSrc {
+	case "", "route", "estimate":
+	default:
+		return fmt.Errorf("bad -congestion-source %q (want route or estimate)", *congSrc)
 	}
 
 	if *verbose {
@@ -127,14 +134,16 @@ func run() error {
 	}
 
 	mgr, err := serve.NewManager(serve.Options{
-		QueueSize:       *queue,
-		Jobs:            *jobs,
-		Workers:         *workers,
-		AllowDir:        *allowDir,
-		StateDir:        *stateDir,
-		StoreMaxBytes:   *storeMax,
-		CheckpointEvery: *ckEvery,
-		Logger:          logger,
+		QueueSize:        *queue,
+		Jobs:             *jobs,
+		Workers:          *workers,
+		CongestionSource: *congSrc,
+		RouteLastRounds:  *routeLst,
+		AllowDir:         *allowDir,
+		StateDir:         *stateDir,
+		StoreMaxBytes:    *storeMax,
+		CheckpointEvery:  *ckEvery,
+		Logger:           logger,
 	})
 	if err != nil {
 		ln.Close()

@@ -80,6 +80,21 @@ type Config struct {
 	// RoutabilityIters is the number of estimate→inflate→respread rounds
 	// (default 2).
 	RoutabilityIters int `json:"routability_iters"`
+	// CongestionSource selects the congestion signal driving the
+	// routability loop's inflation rounds: "route" (default) runs the
+	// global router every round; "estimate" uses the probabilistic
+	// RUDY + pin-density estimator (internal/estimate) for the early
+	// rounds and falls back to the real router for the last
+	// RouteLastRounds rounds plus the final validation route. The
+	// estimator is orders of magnitude cheaper than a route, at the cost
+	// of the best-snapshot gate not scoring estimate-only rounds.
+	CongestionSource string `json:"congestion_source"`
+	// RouteLastRounds is how many trailing routability rounds keep using
+	// the real router when CongestionSource is "estimate" (default 1).
+	// Set it ≥ RoutabilityIters to disable the estimator entirely — the
+	// flow then resolves to the plain "route" path, byte-identical to
+	// CongestionSource "route".
+	RouteLastRounds int `json:"route_last_rounds"`
 	// InflateMax caps the per-cell area inflation ratio (default 2.2).
 	InflateMax float64 `json:"inflate_max"`
 	// InflateExp shapes the congestion→inflation curve: ratio =
@@ -155,6 +170,12 @@ func (c Config) withDefaults() Config {
 	if c.RoutabilityIters <= 0 {
 		c.RoutabilityIters = 2
 	}
+	if c.CongestionSource == "" {
+		c.CongestionSource = "route"
+	}
+	if c.RouteLastRounds <= 0 {
+		c.RouteLastRounds = 1
+	}
 	if c.InflateMax <= 1 {
 		c.InflateMax = 2.2
 	}
@@ -189,7 +210,29 @@ func (c Config) Validate() error {
 	if c.TargetDensity < 0 || c.TargetDensity > 1 {
 		return fmt.Errorf("core: target density %v outside [0,1]", c.TargetDensity)
 	}
+	switch c.CongestionSource {
+	case "", "route", "estimate":
+	default:
+		return fmt.Errorf("core: unknown congestion source %q (want \"route\" or \"estimate\")", c.CongestionSource)
+	}
 	return nil
+}
+
+// ResolvedCongestion reports the congestion source the routability loop
+// will actually use after defaults: the source name ("route" or
+// "estimate", "" when routability is disabled) and, for "estimate", the
+// zero-based round at which the loop switches over to the real router
+// (0 for "route"). "estimate" with RouteLastRounds ≥ RoutabilityIters
+// resolves to plain "route" — the estimator would never run.
+func (c Config) ResolvedCongestion() (source string, switchover int) {
+	c = c.withDefaults()
+	if c.DisableRoutability {
+		return "", 0
+	}
+	if c.CongestionSource != "estimate" || c.RouteLastRounds >= c.RoutabilityIters {
+		return "route", 0
+	}
+	return "estimate", c.RoutabilityIters - c.RouteLastRounds
 }
 
 // CongStat records one routability iteration for experiment F6/T10.
@@ -202,6 +245,10 @@ type CongStat struct {
 	Inflated int
 	// MaxTileCongestion is the worst estimated tile utilization.
 	MaxTileCongestion float64
+	// Estimated marks iterations whose congestion signal came from the
+	// probabilistic estimator (internal/estimate) instead of the router;
+	// their ACE profile is the estimator's, not a routed one.
+	Estimated bool
 }
 
 // Result reports a full placement run.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/db"
 	"repro/internal/dp"
+	"repro/internal/estimate"
 	"repro/internal/geom"
 	"repro/internal/legal"
 	"repro/internal/route"
@@ -214,13 +215,22 @@ func (pl *Placer) finish(ctx context.Context, d *db.Design, routedGrid *route.Gr
 		t3 := time.Now()
 		dpOpt := dp.Options{Passes: cfg.DPPasses, Workers: cfg.Workers, Obs: rec}
 		if routedGrid != nil {
-			// Routability-aware detailed placement: the final routed
-			// congestion map penalizes moves into overloaded tiles.
-			dpOpt.Congestion = routedGrid.TileCongestion()
-			dpOpt.CongNX = routedGrid.NX
-			dpOpt.CongOrigin = routedGrid.Origin
-			dpOpt.CongTileW = routedGrid.TileW
-			dpOpt.CongTileH = routedGrid.TileH
+			if src, _ := cfg.ResolvedCongestion(); src == "estimate" {
+				// Estimate mode: hand detailed placement a *live*
+				// probabilistic map instead of a frozen routed snapshot —
+				// the dp engine attaches it to its incremental cache so
+				// every committed move updates the guard in
+				// O(pins-on-cell), and later moves see earlier relief.
+				dpOpt.Estimate = estimate.New(routedGrid, estimate.Options{Workers: cfg.Workers})
+			} else {
+				// Routability-aware detailed placement: the final routed
+				// congestion map penalizes moves into overloaded tiles.
+				dpOpt.Congestion = routedGrid.TileCongestion()
+				dpOpt.CongNX = routedGrid.NX
+				dpOpt.CongOrigin = routedGrid.Origin
+				dpOpt.CongTileW = routedGrid.TileW
+				dpOpt.CongTileH = routedGrid.TileH
+			}
 		}
 		res.DP = dp.Optimize(d, dpOpt)
 		res.DPTime = time.Since(t3)
@@ -262,10 +272,24 @@ func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *clust
 	}
 
 	router := route.NewRouter(grid, route.RouterOptions{MaxRRRIters: 2, Workers: cfg.Workers, Obs: rec})
-	// The loop is gated: every iteration's placement is scored with the
-	// router (the same sHPWL proxy the final evaluation uses) and the best
-	// snapshot wins, so the loop can explore without ever shipping a
-	// placement worse than its starting point.
+	// Congestion source: "route" routes every round; "estimate" replaces
+	// the early rounds' router calls with the probabilistic estimator and
+	// keeps the router only for the trailing RouteLastRounds rounds (and
+	// the final validation route below, which always runs).
+	congSource, switchover := cfg.ResolvedCongestion()
+	var est *estimate.Estimator
+	if congSource == "estimate" {
+		est = estimate.New(grid, estimate.Options{Workers: cfg.Workers})
+		if loopSp != nil {
+			loopSp.Add("switchover_round", int64(switchover))
+		}
+	}
+	// The loop is gated: every *routed* iteration's placement is scored
+	// with the router (the same sHPWL proxy the final evaluation uses) and
+	// the best snapshot wins, so the loop can explore without ever
+	// shipping a placement worse than its starting point. Estimate-only
+	// rounds are not scored (that is the time they save); the trailing
+	// routed rounds and the final route re-enter the gate.
 	bestX := append([]float64(nil), prob.X...)
 	bestY := append([]float64(nil), prob.Y...)
 	bestScore := math.Inf(1)
@@ -274,28 +298,49 @@ func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *clust
 		return route.ScaledHPWL(d.HPWL(), rc)
 	}
 	for iter := startIter; iter < cfg.RoutabilityIters; iter++ {
+		estimated := est != nil && iter < switchover
 		iterSp := loopSp.StartSpanf("iter-%d", iter)
-		if rec.Enabled() {
-			router.SetTraceContext(iterSp, fmt.Sprintf("routability-%d", iter))
+		var tileCong []float64
+		var stat CongStat
+		if estimated {
+			// Estimate round: the congestion signal is the RUDY +
+			// pin-density map over the current positions — no routing.
+			est.Recompute(d)
+			tileCong = est.TileCongestion()
+			stat = CongStat{ACE: est.ACEProfile(), Estimated: true}
+			if iterSp != nil {
+				iterSp.Add("estimated", 1)
+			}
+			if loopSp != nil {
+				loopSp.Add("estimate_rounds", 1)
+			}
+			if rec.HeatmapsEnabled() {
+				rec.RecordHeatmap(fmt.Sprintf("estimate-%d", iter), est.NX, est.NY, tileCong)
+			}
+		} else {
+			if rec.Enabled() {
+				router.SetTraceContext(iterSp, fmt.Sprintf("routability-%d", iter))
+			}
+			// Routed round: the congestion signal is the *routed* demand
+			// map — the design is globally routed with a reduced rip-up
+			// budget and the leftover per-tile utilization marks the spots
+			// placement must relieve.
+			if _, err := router.RouteDesignCtx(ctx, d); err != nil {
+				iterSp.End()
+				loopSp.End()
+				return nil, canceled("routability", err)
+			}
+			if rec.HeatmapsEnabled() {
+				rec.RecordHeatmap(fmt.Sprintf("routability-%d", iter), grid.NX, grid.NY, grid.TileCongestion())
+			}
+			if sc := scoreNow(); sc < bestScore {
+				bestScore = sc
+				copy(bestX, prob.X)
+				copy(bestY, prob.Y)
+			}
+			tileCong = grid.TileCongestion()
+			stat = CongStat{ACE: grid.ACEProfile()}
 		}
-		// The congestion signal is the *routed* demand map: the design is
-		// globally routed with a reduced rip-up budget and the leftover
-		// per-tile utilization marks the spots placement must relieve.
-		if _, err := router.RouteDesignCtx(ctx, d); err != nil {
-			iterSp.End()
-			loopSp.End()
-			return nil, canceled("routability", err)
-		}
-		if rec.HeatmapsEnabled() {
-			rec.RecordHeatmap(fmt.Sprintf("routability-%d", iter), grid.NX, grid.NY, grid.TileCongestion())
-		}
-		if sc := scoreNow(); sc < bestScore {
-			bestScore = sc
-			copy(bestX, prob.X)
-			copy(bestY, prob.Y)
-		}
-		tileCong := grid.TileCongestion()
-		stat := CongStat{ACE: grid.ACEProfile()}
 		for _, c := range tileCong {
 			if c > stat.MaxTileCongestion {
 				stat.MaxTileCongestion = c
@@ -359,7 +404,7 @@ func (pl *Placer) routabilityLoop(ctx context.Context, d *db.Design, prob *clust
 			iterSp.Add("inflated", int64(inflated))
 		}
 		rec.Log().Debug("routability iteration",
-			"iter", iter, "inflated", inflated,
+			"iter", iter, "inflated", inflated, "estimated", estimated,
 			"max_tile_congestion", stat.MaxTileCongestion, "score", bestScore)
 		if inflated == 0 {
 			iterSp.End()

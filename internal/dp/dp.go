@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"repro/internal/db"
+	"repro/internal/estimate"
 	"repro/internal/geom"
 	"repro/internal/incr"
 	"repro/internal/obs"
@@ -63,6 +64,16 @@ type Options struct {
 	CongTileW   float64
 	CongTileH   float64
 	CongPenalty float64 // cost per unit overload per unit cell area (default 0.5)
+
+	// Estimate, when non-nil, supplies a *live* probabilistic congestion
+	// map (internal/estimate) as the routability guard instead of the
+	// static Congestion snapshot. The optimizer attaches it to its
+	// incremental engine, so every committed move updates the map in
+	// O(pins-on-cell) and later moves see the relief (or new pressure)
+	// earlier moves created. Takes precedence over Congestion. The
+	// propose phase reads the frozen map and commits apply serially in
+	// fixed order, so output stays byte-identical for any worker count.
+	Estimate *estimate.Estimator
 
 	// Obs, when non-nil, records a "dp" span with per-pass move counters
 	// and debug logging (telemetry only — moves are unaffected).
@@ -214,6 +225,12 @@ func newOptimizer(d *db.Design, opt Options) *optimizer {
 	o.perms = permutations(opt.WindowSize)
 	o.cache = incr.New(d)
 	o.anchors = o.cache.NewAnchors()
+	if opt.Estimate != nil {
+		// Live routability guard: the estimator rides the cache's observer
+		// hooks, so Move/Revert/Commit keep its demand map exact without
+		// any polling in the move loops.
+		estimate.Attach(opt.Estimate, o.cache)
+	}
 	return o
 }
 
@@ -275,18 +292,27 @@ func (o *optimizer) gapBounds(left, right, y, h, x float64) (float64, float64) {
 // congCostAt is the congestion penalty of the cell centered over pos:
 // overload beyond 100% utilization costs CongPenalty per unit of cell
 // width (the width proxy keeps the penalty commensurate with HPWL units).
+// With a live estimator the overload is read from the continuously
+// maintained probabilistic map; otherwise from the static snapshot.
 func (o *optimizer) congCostAt(ci int, pos geom.Point) float64 {
 	opt := &o.opt
-	if opt.Congestion == nil || opt.CongNX <= 0 || opt.CongTileW <= 0 || opt.CongTileH <= 0 {
-		return 0
+	var over float64
+	if e := opt.Estimate; e != nil {
+		tx := int((pos.X + o.cellW[ci]/2 - e.Origin.X) / e.TileW)
+		ty := int((pos.Y + o.cellH[ci]/2 - e.Origin.Y) / e.TileH)
+		over = e.CongestionAt(tx, ty) - 1
+	} else {
+		if opt.Congestion == nil || opt.CongNX <= 0 || opt.CongTileW <= 0 || opt.CongTileH <= 0 {
+			return 0
+		}
+		tx := int((pos.X + o.cellW[ci]/2 - opt.CongOrigin.X) / opt.CongTileW)
+		ty := int((pos.Y + o.cellH[ci]/2 - opt.CongOrigin.Y) / opt.CongTileH)
+		ny := len(opt.Congestion) / opt.CongNX
+		if tx < 0 || ty < 0 || tx >= opt.CongNX || ty >= ny {
+			return 0
+		}
+		over = opt.Congestion[ty*opt.CongNX+tx] - 1
 	}
-	tx := int((pos.X + o.cellW[ci]/2 - opt.CongOrigin.X) / opt.CongTileW)
-	ty := int((pos.Y + o.cellH[ci]/2 - opt.CongOrigin.Y) / opt.CongTileH)
-	ny := len(opt.Congestion) / opt.CongNX
-	if tx < 0 || ty < 0 || tx >= opt.CongNX || ty >= ny {
-		return 0
-	}
-	over := opt.Congestion[ty*opt.CongNX+tx] - 1
 	if over <= 0 {
 		return 0
 	}
@@ -296,7 +322,7 @@ func (o *optimizer) congCostAt(ci int, pos geom.Point) float64 {
 // congDelta is the change in congestion penalty of moving cell ci from
 // its current position to pos.
 func (o *optimizer) congDelta(ci int, pos geom.Point) float64 {
-	if o.opt.Congestion == nil {
+	if o.opt.Congestion == nil && o.opt.Estimate == nil {
 		return 0
 	}
 	return o.congCostAt(ci, pos) - o.congCostAt(ci, o.d.Cells[ci].Pos)

@@ -1,0 +1,84 @@
+package dp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/estimate"
+	"repro/internal/legal"
+	"repro/internal/route"
+)
+
+// estimatePlacement runs legalize + detailed placement with a live
+// estimator guard at the given worker count and renders the .pl bytes.
+func estimatePlacement(t *testing.T, workers int) []byte {
+	t.Helper()
+	d := scatteredDesign(t)
+	if _, err := legal.LegalizeCellsOpt(d, legal.Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := route.NewGrid(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Passes:   2,
+		Workers:  workers,
+		Estimate: estimate.New(g, estimate.Options{Workers: workers}),
+	}
+	Optimize(d, opt)
+	var buf bytes.Buffer
+	if err := bookshelf.WritePl(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEstimateGuardDeterministicAcrossWorkers extends the cross-worker
+// .pl byte-determinism guarantee to the live-estimator guard: the
+// estimator is maintained incrementally through the commit phase, commits
+// are serial in fixed order, and the propose phase only reads frozen
+// state — so worker count must still not change a single byte.
+func TestEstimateGuardDeterministicAcrossWorkers(t *testing.T) {
+	ref := estimatePlacement(t, 1)
+	for _, w := range []int{2, 8} {
+		if got := estimatePlacement(t, w); !bytes.Equal(ref, got) {
+			t.Errorf(".pl output differs between workers=1 and workers=%d with live estimate guard", w)
+		}
+	}
+}
+
+// TestEstimateGuardLegality checks the safety net with the live guard:
+// no overlap, fence, or die violations, and the demand map stays in sync
+// (a full recompute after DP matches the incrementally maintained one).
+func TestEstimateGuardLegality(t *testing.T) {
+	d := scatteredDesign(t)
+	if _, err := legal.LegalizeCells(d); err != nil {
+		t.Fatal(err)
+	}
+	g, err := route.NewGrid(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimate.New(g, estimate.Options{})
+	Optimize(d, Options{Passes: 2, Workers: 4, Estimate: est})
+	if v := d.OverlapViolations(); v != 0 {
+		t.Errorf("overlaps introduced: %d", v)
+	}
+	if v := d.FenceViolations(); v != 0 {
+		t.Errorf("fence violations introduced: %d", v)
+	}
+	if v := d.OutOfDie(); v != 0 {
+		t.Errorf("cells pushed out of die: %d", v)
+	}
+	fresh := estimate.New(g, estimate.Options{})
+	fresh.Recompute(d)
+	ih, iv := est.SnapshotDemand()
+	fh, fv := fresh.SnapshotDemand()
+	for i := range ih {
+		if ih[i] != fh[i] || iv[i] != fv[i] {
+			t.Fatalf("live estimator diverged from full recompute at tile %d after DP", i)
+		}
+	}
+}

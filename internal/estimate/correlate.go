@@ -1,0 +1,148 @@
+package estimate
+
+import (
+	"math"
+	"sort"
+)
+
+// Correlation scores an estimated congestion map against a reference
+// (routed) map over the same tiles. It is the drift gate between the
+// probabilistic estimator and the real router: the estimator is useful
+// exactly as long as it *ranks* tiles like the router does, so the tests
+// and BENCH_estimate.json pin floors on these scores.
+type Correlation struct {
+	// Pearson is the linear correlation of the per-tile values.
+	Pearson float64 `json:"pearson"`
+	// Spearman is the Pearson correlation of the tie-averaged ranks —
+	// the rank agreement, insensitive to the estimator's scale.
+	Spearman float64 `json:"spearman"`
+	// HotspotOverlap is |topK(est) ∩ topK(ref)| / K: how many of the
+	// router's K worst tiles the estimator also flags. This is the score
+	// that matters for inflation, which only acts on the worst tiles.
+	HotspotOverlap float64 `json:"hotspot_overlap"`
+	// K is the hotspot set size used (≥ 1).
+	K int `json:"k"`
+	// Tiles is the number of tile pairs scored after dropping non-finite
+	// entries (zero-capacity tiles can be +Inf on either side).
+	Tiles int `json:"tiles"`
+}
+
+// Correlate scores est against ref per tile. The slices must be the same
+// length (same grid); pairs where either side is non-finite are dropped.
+// k ≤ 0 selects 2% of the finite tiles (min 1) as the hotspot set.
+func Correlate(est, ref []float64, k int) Correlation {
+	if len(est) != len(ref) {
+		panic("estimate: Correlate length mismatch")
+	}
+	// Filter to finite pairs, remembering original indices for overlap.
+	type pair struct{ e, r float64 }
+	ps := make([]pair, 0, len(est))
+	for i := range est {
+		if isFinite(est[i]) && isFinite(ref[i]) {
+			ps = append(ps, pair{est[i], ref[i]})
+		}
+	}
+	n := len(ps)
+	c := Correlation{Tiles: n}
+	if n < 2 {
+		return c
+	}
+	es := make([]float64, n)
+	rs := make([]float64, n)
+	for i, p := range ps {
+		es[i], rs[i] = p.e, p.r
+	}
+	c.Pearson = pearson(es, rs)
+	c.Spearman = pearson(ranks(es), ranks(rs))
+	if k <= 0 {
+		k = n / 50
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	c.K = k
+	c.HotspotOverlap = overlapAtK(es, rs, k)
+	return c
+}
+
+func isFinite(x float64) bool { return !math.IsInf(x, 0) && !math.IsNaN(x) }
+
+// pearson is the sample linear correlation; 0 when either side is
+// constant (zero variance).
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks returns tie-averaged ranks (1-based; ties share the mean of the
+// ranks they span), the standard Spearman convention.
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// overlapAtK returns |topK(x) ∩ topK(y)| / k, comparing by value with
+// index as the deterministic tiebreak.
+func overlapAtK(x, y []float64, k int) float64 {
+	top := func(v []float64) map[int]bool {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if v[idx[a]] != v[idx[b]] {
+				return v[idx[a]] > v[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		s := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			s[i] = true
+		}
+		return s
+	}
+	tx, ty := top(x), top(y)
+	hit := 0
+	for i := range tx {
+		if ty[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}

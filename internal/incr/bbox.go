@@ -155,7 +155,49 @@ type BBoxCache struct {
 	// slice (the allocation-free replacement for a per-call map).
 	seenEpoch uint32
 	seen      []uint32
+
+	// observer, when non-nil, is notified around every Move and after
+	// Revert/Commit (see Observer). Nil costs nothing.
+	observer Observer
 }
+
+// Observer receives position-change notifications from a BBoxCache.
+// PreMove fires before a Move mutates anything (the observer sees the
+// pre-move design, boxes and pin positions) and PostMove after the boxes
+// are exact again. Reverted/Committed fire after the corresponding
+// transaction close, once the cache state is final. Derived structures —
+// the incremental congestion estimator (internal/estimate) is the
+// canonical one — use the pair to maintain their own state in
+// O(pins-on-cell) without polling.
+type Observer interface {
+	PreMove(ci int)
+	PostMove(ci int)
+	Reverted()
+	Committed()
+}
+
+// SetObserver installs (or, with nil, removes) the cache's observer.
+// Install before the first Move the observer must see; the cache never
+// replays history.
+func (c *BBoxCache) SetObserver(o Observer) { c.observer = o }
+
+// InTxn reports whether a Begin transaction is open — i.e. whether moves
+// seen now may still be undone by Revert.
+func (c *BBoxCache) InTxn() bool { return c.inTxn }
+
+// NetBox returns the net's exact cached pin bounding box. For nets with
+// no pins the returned rectangle is inverted (Lo = +Inf, Hi = −Inf).
+func (c *BBoxCache) NetBox(ni int) geom.Rect {
+	b := &c.boxes[ni]
+	return geom.Rect{
+		Lo: geom.Point{X: b.minX, Y: b.minY},
+		Hi: geom.Point{X: b.maxX, Y: b.maxY},
+	}
+}
+
+// NetWeight returns the net's weight with the 0→1 default resolved, the
+// same value Cost uses.
+func (c *BBoxCache) NetWeight(ni int) float64 { return c.weight[ni] }
 
 // New builds the cache for the design's current positions and cell
 // orientations. Orientation changes behind the cache's back require a
@@ -264,6 +306,9 @@ func (c *BBoxCache) Begin() {
 // when a moved pin was the sole pin on a box boundary. Outside a
 // transaction the move is permanent.
 func (c *BBoxCache) Move(ci int, to geom.Point) {
+	if c.observer != nil {
+		c.observer.PreMove(ci)
+	}
 	d := c.d
 	cell := &d.Cells[ci]
 	from := cell.Pos
@@ -301,6 +346,9 @@ func (c *BBoxCache) Move(ci int, to geom.Point) {
 	for _, ni := range c.dirty {
 		c.boxes[ni] = c.compute(ni)
 	}
+	if c.observer != nil {
+		c.observer.PostMove(ci)
+	}
 }
 
 // Revert undoes every Move since Begin and closes the transaction.
@@ -316,6 +364,9 @@ func (c *BBoxCache) Revert() {
 	c.savedCells = c.savedCells[:0]
 	c.savedBoxes = c.savedBoxes[:0]
 	c.inTxn = false
+	if c.observer != nil {
+		c.observer.Reverted()
+	}
 }
 
 // Commit keeps every Move since Begin and closes the transaction.
@@ -323,6 +374,9 @@ func (c *BBoxCache) Commit() {
 	c.savedCells = c.savedCells[:0]
 	c.savedBoxes = c.savedBoxes[:0]
 	c.inTxn = false
+	if c.observer != nil {
+		c.observer.Committed()
+	}
 }
 
 // bumpEpoch advances an epoch counter, clearing its stamp slice on the

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestStatusCongestionSource pins that job status surfaces the resolved
+// routability congestion source and switchover round — spec-level config
+// first, daemon-level default as fallback, and the documented JSON field
+// names.
+func TestStatusCongestionSource(t *testing.T) {
+	noop := func(ctx context.Context, j *Job) error { return nil }
+
+	t.Run("spec estimate", func(t *testing.T) {
+		m := mustManager(t, Options{Runner: noop})
+		j, err := m.Submit(Spec{Synth: "sb-a", Config: core.Config{
+			CongestionSource: "estimate", RoutabilityIters: 4, RouteLastRounds: 1,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := j.Status()
+		if st.CongestionSource != "estimate" {
+			t.Errorf("congestion source = %q, want estimate", st.CongestionSource)
+		}
+		if st.SwitchoverRound != 3 {
+			t.Errorf("switchover round = %d, want 3", st.SwitchoverRound)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), `"congestion_source":"estimate"`) ||
+			!strings.Contains(string(b), `"switchover_round":3`) {
+			t.Errorf("status JSON missing congestion fields: %s", b)
+		}
+	})
+
+	t.Run("default route", func(t *testing.T) {
+		m := mustManager(t, Options{Runner: noop})
+		j, err := m.Submit(Spec{Synth: "sb-a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st.CongestionSource != "route" || st.SwitchoverRound != 0 {
+			t.Errorf("got %q/%d, want route/0", st.CongestionSource, st.SwitchoverRound)
+		}
+	})
+
+	t.Run("daemon default estimate", func(t *testing.T) {
+		m := mustManager(t, Options{Runner: noop, CongestionSource: "estimate", RouteLastRounds: 1})
+		j, err := m.Submit(Spec{Synth: "sb-a", Config: core.Config{RoutabilityIters: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st.CongestionSource != "estimate" || st.SwitchoverRound != 2 {
+			t.Errorf("got %q/%d, want estimate/2", st.CongestionSource, st.SwitchoverRound)
+		}
+	})
+
+	t.Run("fallback covers all rounds resolves to route", func(t *testing.T) {
+		m := mustManager(t, Options{Runner: noop})
+		j, err := m.Submit(Spec{Synth: "sb-a", Config: core.Config{
+			CongestionSource: "estimate", RoutabilityIters: 2, RouteLastRounds: 2,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st.CongestionSource != "route" || st.SwitchoverRound != 0 {
+			t.Errorf("got %q/%d, want route/0", st.CongestionSource, st.SwitchoverRound)
+		}
+	})
+
+	t.Run("routability disabled", func(t *testing.T) {
+		m := mustManager(t, Options{Runner: noop})
+		j, err := m.Submit(Spec{Synth: "sb-a", Config: core.Config{DisableRoutability: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st.CongestionSource != "" {
+			t.Errorf("congestion source = %q, want empty (routability off)", st.CongestionSource)
+		}
+	})
+
+	t.Run("report config block carries resolved defaults", func(t *testing.T) {
+		// placeJob reports effectiveConfig (spec merged with daemon
+		// defaults) as the run report's config section, so the report
+		// must name the congestion source that actually drove the run.
+		m := mustManager(t, Options{Runner: noop, CongestionSource: "estimate", RouteLastRounds: 1})
+		cfg := m.effectiveConfig(Spec{Synth: "sb-a", Config: core.Config{RoutabilityIters: 3}})
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(b), `"congestion_source":"estimate"`) ||
+			!strings.Contains(string(b), `"route_last_rounds":1`) {
+			t.Errorf("effective config JSON missing congestion fields: %s", b)
+		}
+	})
+
+	t.Run("bad source rejected at submit", func(t *testing.T) {
+		m := mustManager(t, Options{Runner: noop})
+		if _, err := m.Submit(Spec{Synth: "sb-a", Config: core.Config{
+			CongestionSource: "psychic",
+		}}); err == nil {
+			t.Fatal("submit accepted an unknown congestion source")
+		}
+	})
+}

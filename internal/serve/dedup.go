@@ -61,6 +61,7 @@ func (m *Manager) cachedJob(spec Spec, d *db.Design, arts map[string][]byte) (*J
 	}
 	j.state = StateDone
 	j.cached = true
+	j.congSource, j.switchover = m.effectiveConfig(spec).ResolvedCongestion()
 	j.submitted = now
 	j.started = now
 	j.finished = now

@@ -98,6 +98,11 @@ type Job struct {
 	// storeKey addresses the job's result in the artifact store ("" when
 	// caching is off or the key could not be derived).
 	storeKey string
+	// congSource and switchover are the resolved routability congestion
+	// source of the job's effective config (manager defaults applied) —
+	// see core.Config.ResolvedCongestion. Immutable, set at creation.
+	congSource string
+	switchover int
 
 	mu        sync.Mutex
 	state     State
@@ -130,6 +135,14 @@ type Status struct {
 	// Cached marks a job whose result was served from the artifact store
 	// without running the placer.
 	Cached bool `json:"cached,omitempty"`
+	// CongestionSource is the routability loop's resolved congestion
+	// signal for this job: "route", "estimate", or empty when
+	// routability is disabled (manager-level defaults already applied).
+	CongestionSource string `json:"congestion_source,omitempty"`
+	// SwitchoverRound is the zero-based routability round at which an
+	// "estimate" job switches back to the real router (absent for
+	// "route" jobs, which route every round).
+	SwitchoverRound int `json:"switchover_round,omitempty"`
 }
 
 // State returns the job's current lifecycle state.
@@ -151,12 +164,14 @@ func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:        j.ID,
-		State:     j.state,
-		Error:     j.errMsg,
-		Submitted: j.submitted,
-		Events:    j.broker.len(),
-		Cached:    j.cached,
+		ID:               j.ID,
+		State:            j.state,
+		Error:            j.errMsg,
+		Submitted:        j.submitted,
+		Events:           j.broker.len(),
+		Cached:           j.cached,
+		CongestionSource: j.congSource,
+		SwitchoverRound:  j.switchover,
 	}
 	if j.design != nil {
 		st.Design = j.design.Name

@@ -47,6 +47,14 @@ type Options struct {
 	// config leaves it automatic (0 keeps the shared internal/par
 	// policy).
 	Workers int
+	// CongestionSource is the daemon-level default for the routability
+	// loop's congestion signal ("route" or "estimate"), applied when a
+	// job's config leaves it empty (see core.Config.CongestionSource).
+	CongestionSource string
+	// RouteLastRounds is the daemon-level default for the trailing
+	// router rounds of "estimate" jobs, applied when a job's config
+	// leaves it 0.
+	RouteLastRounds int
 	// AllowDir, when non-empty, permits Spec.Aux path jobs for .aux files
 	// inside this directory tree. Empty disallows path jobs entirely.
 	AllowDir string
@@ -191,6 +199,7 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	j.design = d
 	j.resume = resume
 	j.storeKey = storeKey
+	j.congSource, j.switchover = m.effectiveConfig(spec).ResolvedCongestion()
 	if m.opt.StateDir != "" {
 		jj, err := openJobJournal(m.jobDir(j.ID))
 		if err != nil {

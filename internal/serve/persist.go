@@ -222,6 +222,7 @@ func (m *Manager) recoverJob(id string) (j *Job, runnable bool, err error) {
 	j = &Job{ID: id, Spec: rec.Spec, broker: newBrokerFrom(events)}
 	j.submitted = rec.Submitted
 	j.cached = cached
+	j.congSource, j.switchover = m.effectiveConfig(rec.Spec).ResolvedCongestion()
 
 	if last.Terminal() {
 		j.state = last

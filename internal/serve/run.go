@@ -16,6 +16,24 @@ import (
 	"repro/internal/snap"
 )
 
+// effectiveConfig is the job's config with the manager-level defaults
+// applied — the config placeJob actually runs, the one the run report's
+// config block records, and the one job-status congestion resolution
+// reflects.
+func (m *Manager) effectiveConfig(spec Spec) core.Config {
+	cfg := spec.Config
+	if cfg.Workers == 0 {
+		cfg.Workers = m.opt.Workers
+	}
+	if cfg.CongestionSource == "" {
+		cfg.CongestionSource = m.opt.CongestionSource
+	}
+	if cfg.RouteLastRounds == 0 {
+		cfg.RouteLastRounds = m.opt.RouteLastRounds
+	}
+	return cfg
+}
+
 // placeJob is the default job body: it places the job's design with a
 // live-streaming telemetry recorder, optionally routes and scores the
 // result, and stores the artifacts (versioned JSON report, .pl bytes,
@@ -33,10 +51,7 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		SampleResources: true, // placerd reports always attribute stage cost
 		OnEvent:         j.broker.publishObs,
 	})
-	cfg := j.Spec.Config
-	if cfg.Workers == 0 {
-		cfg.Workers = m.opt.Workers
-	}
+	cfg := m.effectiveConfig(j.Spec)
 	cfg.Obs = rec
 	if j.journal != nil {
 		cfg.CheckpointEvery = m.opt.CheckpointEvery
