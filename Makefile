@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp bench-estimate benchdiff serve test-serve test-store test-dp test-estimate test-fleet fuzz-smoke
+.PHONY: all build check vet fmt test race bench bench-obs bench-router bench-dp bench-estimate bench-eco benchdiff serve test-serve test-store test-dp test-estimate test-eco test-fleet fuzz-smoke
 
 all: check
 
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/... ./internal/estimate/... ./internal/fleet/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/route/... ./internal/wl/... ./internal/density/... ./internal/par/... ./internal/obs/... ./internal/store/... ./internal/snap/... ./internal/dp/... ./internal/legal/... ./internal/incr/... ./internal/estimate/... ./internal/fleet/... ./internal/eco/...
 
 # Run the placement job server locally (see DESIGN.md §9).
 serve:
@@ -90,6 +90,13 @@ test-estimate:
 	$(GO) test -race -run 'Estimate' -v ./internal/core/ ./internal/dp/
 	$(GO) test -race -run 'TestStatusCongestionSource' -v ./internal/serve/
 
+# Incremental (ECO) placement suite alone, race-checked: netlist-diff
+# edge cases, windowed-repair legality/determinism, and the serving
+# layer's delta-job path (see DESIGN.md §15).
+test-eco:
+	$(GO) test -race -v ./internal/eco/
+	$(GO) test -race -run 'TestDeltaJob' -v ./internal/serve/
+
 # Detailed-placement hot-path benchmark plus the machine-readable
 # BENCH_dp.json: incremental engine vs. the recompute baseline across
 # worker counts. BENCH_DP_FLAGS trims it for CI.
@@ -109,6 +116,15 @@ bench-estimate:
 	$(GO) test -bench . -benchmem -run xxx ./internal/estimate/
 	$(GO) run ./cmd/benchest $(BENCHEST_FLAGS) -out BENCH_estimate.json
 
+# Incremental-placement benchmark: diff throughput, the eco-vs-full
+# delta comparison (self-gated on speedup, quality and cross-worker
+# determinism) and the machine-readable BENCH_eco.json. BENCHECO_FLAGS
+# must stay in sync with the benchdiff recipe below so baseline and
+# current runs share keys.
+BENCHECO_FLAGS ?=
+bench-eco:
+	$(GO) run ./cmd/bencheco $(BENCHECO_FLAGS) -out BENCH_eco.json
+
 # Bench regression gate: fresh benchroute/benchdp/benchest runs land in
 # .bench/ (gitignored) and are diffed against the committed BENCH_*.json
 # baselines. Exits non-zero on a regression. Wall time is gated loosely
@@ -122,7 +138,9 @@ benchdiff:
 	$(GO) run ./cmd/benchdp -out .bench/dp.json
 	@fail=0; \
 	$(GO) run ./cmd/benchest $(BENCHEST_FLAGS) -out .bench/estimate.json || fail=1; \
+	$(GO) run ./cmd/bencheco $(BENCHECO_FLAGS) -out .bench/eco.json || fail=1; \
 	$(GO) run ./cmd/benchdiff -baseline BENCH_router.json -current .bench/router.json $(BENCHDIFF_FLAGS) || fail=1; \
 	$(GO) run ./cmd/benchdiff -baseline BENCH_dp.json -current .bench/dp.json $(BENCHDIFF_FLAGS) || fail=1; \
 	$(GO) run ./cmd/benchdiff -baseline BENCH_estimate.json -current .bench/estimate.json $(BENCHDIFF_FLAGS) || fail=1; \
+	$(GO) run ./cmd/benchdiff -baseline BENCH_eco.json -current .bench/eco.json $(BENCHDIFF_FLAGS) || fail=1; \
 	exit $$fail

@@ -1,0 +1,304 @@
+// Command bencheco is the benchmark driver for incremental (ECO)
+// placement (internal/eco). It emits a machine-readable JSON report
+// (BENCH_eco.json by default) with three measurement groups so the
+// incremental path's perf and fidelity can be tracked across commits and
+// gated by cmd/benchdiff:
+//
+//   - Netlist-diff throughput: cells/s and allocs/op of eco.DiffDesigns
+//     on a placed base vs a perturbed next — the always-paid entry cost
+//     of every delta job.
+//   - ECO-vs-full comparison: the same small delta (default 2% cell
+//     churn) placed from scratch by the full multilevel flow and repaired
+//     incrementally against the base, with both routed qualities and the
+//     wall-clock speedup. This is the min-gated "speedup" row.
+//   - Cross-worker determinism: the same repair at workers 1, 2 and 8
+//     must produce byte-identical .pl output — the repo-wide contract
+//     the serving layer's dedup and the fleet's reassignment rely on.
+//
+// The report doubles as a self-checking gate: -min-speedup,
+// -max-hpwl-ratio and -max-cong-ratio make the run itself fail when the
+// incremental path stops paying for itself (or drifts from from-scratch
+// quality), so CI catches regressions even before benchdiff compares
+// against the committed baseline. Legality (0 overlaps, 0 fence
+// violations, 0 out-of-die) and determinism are gated unconditionally.
+//
+// Usage:
+//
+//	go run ./cmd/bencheco                    # full suite -> BENCH_eco.json
+//	go run ./cmd/bencheco -cells 1200 -out -
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bookshelf"
+	"repro/internal/buildinfo"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/eco"
+	"repro/internal/gen"
+	"repro/internal/route"
+)
+
+// Run is one benchdiff row. The field names line up with cmd/benchdiff's
+// gated schema: wall_seconds and allocs/bytes get max-ratio gates,
+// overflow / max_congestion / hpwl_after get quality gates, speedup gets
+// a min-gate. The eco-specific fields are informational.
+type Run struct {
+	Design  string `json:"design"`
+	Cells   int    `json:"cells"`
+	Workers int    `json:"workers"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+
+	Speedup       float64 `json:"speedup,omitempty"`
+	Overflow      float64 `json:"overflow,omitempty"`
+	MaxCongestion float64 `json:"max_congestion,omitempty"`
+	HPWLAfter     float64 `json:"hpwl_after,omitempty"`
+
+	// ECO shape of the measured delta (delta row only).
+	ChangedCells    int     `json:"changed_cells,omitempty"`
+	Windows         int     `json:"windows,omitempty"`
+	ReuseRatio      float64 `json:"reuse_ratio,omitempty"`
+	FullWallSeconds float64 `json:"full_wall_seconds,omitempty"`
+
+	// Diff micro-measurement (diff row only).
+	DiffsPerSec float64 `json:"diffs_per_sec,omitempty"`
+}
+
+// Report is the whole emitted document.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Runs       []Run  `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bencheco:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out       = flag.String("out", "BENCH_eco.json", "output file (- for stdout)")
+		cells     = flag.Int("cells", 2500, "benchmark design size")
+		seed      = flag.Int64("seed", 21, "benchmark design seed")
+		workers   = flag.Int("workers", 4, "placer/repair worker count (fixed, not machine-derived, so benchdiff keys match across hosts)")
+		delta     = flag.Float64("delta", 0.02, "cell churn fraction for the measured delta (half removed, half added)")
+		rewire    = flag.Float64("rewire", 0.005, "fraction of surviving movable pins moved to different nets")
+		repeat    = flag.Int("repeat", 5, "timed diff repetitions (best wall time wins)")
+		minSpeed  = flag.Float64("min-speedup", 5.0, "fail when the eco-vs-full speedup falls below this (0 disables)")
+		hpwlRatio = flag.Float64("max-hpwl-ratio", 1.02, "fail when eco sHPWL exceeds from-scratch sHPWL times this (0 disables)")
+		congRatio = flag.Float64("max-cong-ratio", 1.05, "fail when eco max congestion exceeds from-scratch times this (0 disables)")
+	)
+	showVersion := flag.Bool("version", false, "print build version (go version + vcs revision) and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String())
+		return nil
+	}
+
+	rep := Report{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	cfg := core.Config{Workers: *workers}
+
+	// Base: a synthetic mixed-size design placed once by the full flow —
+	// the cached result every delta below reuses.
+	input, err := gen.Generate(benchGen(*cells, *seed))
+	if err != nil {
+		return err
+	}
+	baseD := input.Clone()
+	t0 := time.Now()
+	if _, err := core.MustNew(cfg).Place(baseD); err != nil {
+		return fmt.Errorf("base place: %w", err)
+	}
+	baseWall := time.Since(t0).Seconds()
+	fmt.Fprintf(os.Stderr, "%s cells=%d workers=%d: base full place %.2fs\n",
+		input.Name, *cells, *workers, baseWall)
+
+	// The measured delta: a deterministic ECO-style perturbation of the
+	// base netlist.
+	next := gen.Perturb(input, gen.Perturbation{
+		Seed:       *seed + 1,
+		RemoveFrac: *delta / 2,
+		AddFrac:    *delta / 2,
+		RewireFrac: *rewire,
+	})
+
+	// Diff micro-measurement: throughput and per-diff allocation cost.
+	diffRow, df := measureDiff(baseD, next, *cells, *workers, *repeat)
+	rep.Runs = append(rep.Runs, diffRow)
+	fmt.Fprintf(os.Stderr, "%s/diff: %.0f cells/s (%.2f ms, %.0f allocs/op), %d changed %d added %d removed (%.1f%% reuse)\n",
+		input.Name, float64(*cells)/diffRow.WallSeconds, 1e3*diffRow.WallSeconds, diffRow.AllocsPerOp,
+		len(df.Changed), len(df.Added), len(df.RemovedNames), 100*df.ReuseRatio())
+
+	// From-scratch reference on the SAME perturbed netlist.
+	full := next.Clone()
+	t0 = time.Now()
+	if _, err := core.MustNew(cfg).Place(full); err != nil {
+		return fmt.Errorf("from-scratch place: %w", err)
+	}
+	fullWall := time.Since(t0).Seconds()
+	fullM, err := route.EvaluateDesign(full, route.RouterOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+
+	// The incremental path: diff + transfer + windowed repair.
+	ecoD := next.Clone()
+	basePl := eco.FromDesign(baseD)
+	t0 = time.Now()
+	edf := eco.DiffDesigns(baseD, ecoD)
+	eres, err := eco.Place(ecoD, edf, basePl, eco.Options{Workers: *workers})
+	ecoWall := time.Since(t0).Seconds()
+	var failures []string
+	if errors.Is(err, eco.ErrNeedFull) {
+		failures = append(failures, fmt.Sprintf("%.1f%% delta fell back to a full place (dirty fraction too high)", 100**delta))
+	} else if err != nil {
+		return fmt.Errorf("eco place: %w", err)
+	}
+	ecoM, err := route.EvaluateDesign(ecoD, route.RouterOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+
+	speedup := 0.0
+	if ecoWall > 0 {
+		speedup = fullWall / ecoWall
+	}
+	deltaRow := Run{
+		Design: input.Name + "/delta", Cells: *cells, Workers: *workers,
+		WallSeconds: ecoWall, Speedup: speedup,
+		Overflow: ecoM.Overflow, MaxCongestion: ecoM.MaxCong, HPWLAfter: ecoM.ScaledHPWL,
+		ChangedCells: eres.ChangedCells, Windows: len(eres.Windows),
+		ReuseRatio: eres.ReuseRatio, FullWallSeconds: fullWall,
+	}
+	rep.Runs = append(rep.Runs, deltaRow)
+	fmt.Fprintf(os.Stderr, "%s/delta: eco %.2fs vs full %.2fs (%.1fx); %d windows, %d repaired; sHPWL %.4g vs %.4g (%.3fx), maxcong %.2f vs %.2f\n",
+		input.Name, ecoWall, fullWall, speedup, len(eres.Windows), eres.Repaired,
+		ecoM.ScaledHPWL, fullM.ScaledHPWL, ecoM.ScaledHPWL/fullM.ScaledHPWL,
+		ecoM.MaxCong, fullM.MaxCong)
+
+	// Self-gates.
+	if eres.Overlaps != 0 || eres.FenceViolations != 0 || eres.OutOfDie != 0 {
+		failures = append(failures, fmt.Sprintf("eco placement not legal: %d overlaps, %d fence violations, %d out-of-die",
+			eres.Overlaps, eres.FenceViolations, eres.OutOfDie))
+	}
+	if *minSpeed > 0 && speedup < *minSpeed {
+		failures = append(failures, fmt.Sprintf("eco-vs-full speedup %.2fx below floor %.2fx", speedup, *minSpeed))
+	}
+	if *hpwlRatio > 0 && fullM.ScaledHPWL > 0 && ecoM.ScaledHPWL > fullM.ScaledHPWL**hpwlRatio {
+		failures = append(failures, fmt.Sprintf("eco sHPWL %.6g exceeds from-scratch %.6g by more than %.0f%%",
+			ecoM.ScaledHPWL, fullM.ScaledHPWL, 100*(*hpwlRatio-1)))
+	}
+	if *congRatio > 0 && fullM.MaxCong > 0 && ecoM.MaxCong > fullM.MaxCong**congRatio {
+		failures = append(failures, fmt.Sprintf("eco max congestion %.3f exceeds from-scratch %.3f by more than %.0f%%",
+			ecoM.MaxCong, fullM.MaxCong, 100*(*congRatio-1)))
+	}
+	if msg := checkDeterminism(baseD, next); msg != "" {
+		failures = append(failures, msg)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	} else {
+		fmt.Fprintln(os.Stderr, "wrote", *out)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bencheco: GATE FAILED:", f)
+		}
+		return fmt.Errorf("%d gate(s) failed", len(failures))
+	}
+	return nil
+}
+
+// benchGen is the benchmark design: mixed-size (macros + fences +
+// terminals) at moderate utilization and routing capacity, the same
+// shape core's resume tests use. The deliberately tame congestion keeps
+// the full flow stable run-to-run, so the eco-vs-from-scratch quality
+// ratios gate the incremental path rather than full-flow seed variance
+// (gen.Congested designs can swing >10% sHPWL between two from-scratch
+// runs of a 2%-perturbed netlist, drowning the signal).
+func benchGen(cells int, seed int64) gen.Config {
+	return gen.Config{
+		Name: "ecobench", Seed: seed, NumStdCells: cells,
+		NumFixedMacros: 2, NumMovableMacros: 1, MacroSizeRows: 4,
+		NumModules: 3, NumFences: 2, NumTerminals: 24,
+		TargetUtil: 0.58, TrackCapacity: 12,
+	}
+}
+
+// measureDiff times eco.DiffDesigns (best of repeat) and its allocation
+// cost, returning the diff row and one diff for reporting.
+func measureDiff(baseD, next *db.Design, cells, workers, repeat int) (Run, *eco.Diff) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var df *eco.Diff
+	best := time.Duration(1<<63 - 1)
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < repeat; i++ {
+		t0 := time.Now()
+		df = eco.DiffDesigns(baseD, next)
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	r := Run{
+		Design: baseD.Name + "/diff", Cells: cells, Workers: workers,
+		WallSeconds: best.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(repeat),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(repeat),
+	}
+	if r.WallSeconds > 0 {
+		r.DiffsPerSec = 1 / r.WallSeconds
+	}
+	return r, df
+}
+
+// checkDeterminism repairs the same delta at workers 1, 2 and 8 and
+// byte-compares the resulting .pl files. Returns a failure message or "".
+func checkDeterminism(baseD, next *db.Design) string {
+	basePl := eco.FromDesign(baseD)
+	var ref []byte
+	for _, w := range []int{1, 2, 8} {
+		d := next.Clone()
+		df := eco.DiffDesigns(baseD, d)
+		if _, err := eco.Place(d, df, basePl, eco.Options{Workers: w}); err != nil {
+			return fmt.Sprintf("determinism check: workers=%d: %v", w, err)
+		}
+		var buf bytes.Buffer
+		if err := bookshelf.WritePl(&buf, d); err != nil {
+			return fmt.Sprintf("determinism check: workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			return fmt.Sprintf("determinism check: workers=%d .pl differs from workers=1", w)
+		}
+	}
+	return ""
+}

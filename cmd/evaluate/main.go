@@ -131,6 +131,7 @@ func run() error {
 	row := metrics.Row{
 		Design: d.Name, Variant: "eval",
 		HPWL: d.HPWL(), Overlaps: overlaps, FenceViol: fenceViol,
+		OutOfDie: d.OutOfDie(),
 	}
 	if d.Route == nil {
 		fmt.Printf("HPWL %.6g (no .route file: congestion scoring skipped)\n", d.HPWL())

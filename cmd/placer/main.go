@@ -19,9 +19,22 @@
 //
 //	placer -synth sb-b -checkpoint-dir ck/           # killed mid-run
 //	placer -synth sb-b -resume ck/sb-b.snap          # continues to a legal result
+//
+// A resume is validated against the configuration recorded in the
+// checkpoint: result-shaping flags (-model, -congestion-source,
+// -route-last-rounds, the -no-* switches, …) must match the original run
+// or the resume is rejected up front.
+//
+// After a small netlist edit, -eco-base skips the full flow entirely:
+// it reuses a previous result (.pl or .snap) for every unchanged cell and
+// re-places only windows around the changed ones:
+//
+//	placer -synth sb-b                               # full run → sb-b.out.pl
+//	placer -aux edited.aux -eco-base sb-b.out.pl     # seconds, not minutes
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -39,6 +52,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/eco"
 	"repro/internal/gen"
 	"repro/internal/legal"
 	"repro/internal/metrics"
@@ -77,6 +91,7 @@ func run() error {
 		ckDir     = flag.String("checkpoint-dir", "", "write resumable placement checkpoints (<design>.snap) into this directory")
 		ckEvery   = flag.Int("checkpoint-every", 1, "lambda rounds between checkpoints (with -checkpoint-dir)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file instead of placing from scratch")
+		ecoBase   = flag.String("eco-base", "", "incremental (ECO) placement: reuse this base placement (.pl or .snap) and repair only windows around the changed cells; large deltas fall back to a full place")
 		workers   = flag.Int("workers", 0, "worker count for parallel kernels incl. DP and legalization (0 = auto, honors REPRO_WORKERS)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a partial -report is still written")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -172,14 +187,26 @@ func run() error {
 	}
 	t0 := time.Now()
 	var res core.Result
-	if *resume != "" {
+	switch {
+	case *resume != "" && *ecoBase != "":
+		return fmt.Errorf("use either -resume or -eco-base, not both")
+	case *resume != "":
 		st, rerr := snap.ReadFile(*resume)
 		if rerr != nil {
 			return fmt.Errorf("reading checkpoint %s: %w", *resume, rerr)
 		}
+		// Fail the config check before any placement work, with a hint at
+		// the fix: the checkpoint records the knobs it ran under, and
+		// resuming under different ones would finish a run neither
+		// configuration describes.
+		if verr := core.ValidateResumeConfig(cfg, st); verr != nil {
+			return fmt.Errorf("%w\n(make the flags match the checkpointed run, or drop -resume to place from scratch)", verr)
+		}
 		fmt.Printf("resume:    %s (stage %s, round %d)\n", *resume, st.Stage, st.Round)
 		res, err = placer.PlaceFromCheckpoint(ctx, d, st)
-	} else {
+	case *ecoBase != "":
+		res, err = placeEco(ctx, placer, d, *ecoBase, cfg, rec)
+	default:
 		res, err = placer.PlaceContext(ctx, d)
 	}
 	if err != nil {
@@ -200,7 +227,7 @@ func run() error {
 	row := metrics.Row{
 		Design: d.Name, Variant: variantName(cfg),
 		HPWL: res.HPWLFinal, Overflow: res.Overflow,
-		Overlaps: res.Overlaps, FenceViol: res.FenceViolations,
+		Overlaps: res.Overlaps, FenceViol: res.FenceViolations, OutOfDie: res.OutOfDie,
 		GPTime: res.GPTime, TotalTime: total,
 	}
 	if *evaluate && d.Route != nil {
@@ -262,6 +289,58 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// placeEco runs the incremental path: diff the loaded design against the
+// base placement by name, transfer every reusable position, and repair
+// only windows around the changed cells. A delta outside windowed
+// repair's reach (macro churn, too many dirty cells) falls back to the
+// full flow — an ECO invocation always ends in a legal placement.
+func placeEco(ctx context.Context, placer *core.Placer, d *db.Design, basePath string, cfg core.Config, rec *obs.Recorder) (core.Result, error) {
+	base, err := loadBasePlacement(basePath, d)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("loading -eco-base %s: %w", basePath, err)
+	}
+	df := eco.DiffPlacement(d, base)
+	fmt.Printf("eco:       base %s: %d changed, %d added, %d removed (%.1f%% reuse)\n",
+		basePath, len(df.Changed), len(df.Added), len(df.RemovedNames), 100*df.ReuseRatio())
+	eres, err := eco.Place(d, df, base, eco.Options{Workers: cfg.Workers, Obs: rec})
+	if errors.Is(err, eco.ErrNeedFull) {
+		fmt.Println("eco:       delta out of windowed repair's reach, placing from scratch")
+		return placer.PlaceContext(ctx, d)
+	}
+	if err != nil {
+		return core.Result{}, err
+	}
+	fmt.Printf("eco:       repaired %d cells in %d windows (%d frozen), legal %.2fs dp %.2fs\n",
+		eres.Repaired, len(eres.Windows), eres.Frozen,
+		eres.LegalTime.Seconds(), eres.DPTime.Seconds())
+	return core.Result{
+		HPWLFinal:       eres.HPWL,
+		Overlaps:        eres.Overlaps,
+		FenceViolations: eres.FenceViolations,
+		OutOfDie:        eres.OutOfDie,
+		Legal:           eres.Legal,
+		LegalTime:       eres.LegalTime,
+		DPTime:          eres.DPTime,
+	}, nil
+}
+
+// loadBasePlacement reads an -eco-base file, sniffing the format: snap
+// checkpoints carry the RPSN magic, everything else parses as a UCLA .pl.
+func loadBasePlacement(path string, d *db.Design) (*eco.Placement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte(snap.Magic)) {
+		st, err := snap.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		return eco.FromSnap(st, d)
+	}
+	return eco.ReadPl(bytes.NewReader(data))
 }
 
 // flushCanceledReport writes the -report and -trace post-mortems for a

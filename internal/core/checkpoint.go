@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/cluster"
 	"repro/internal/db"
 	"repro/internal/route"
@@ -43,6 +46,77 @@ func (ck *checkpointer) gpHook(prob *cluster.Problem, pm *problemMap, roundBase 
 	}
 }
 
+// recordConfig projects the result-shaping knobs of a (defaulted) Config
+// into the checkpoint's config section. ValidateResumeConfig is its
+// inverse check.
+func recordConfig(cfg Config) *snap.RunConfig {
+	return &snap.RunConfig{
+		Model:              cfg.Model,
+		TargetDensity:      cfg.TargetDensity,
+		Workers:            cfg.Workers,
+		MaxLambdaRounds:    cfg.MaxLambdaRounds,
+		RoutabilityIters:   cfg.RoutabilityIters,
+		CongestionSource:   cfg.CongestionSource,
+		RouteLastRounds:    cfg.RouteLastRounds,
+		DisableRoutability: cfg.DisableRoutability,
+		DisableFences:      cfg.DisableFences,
+		DisableDP:          cfg.DisableDP,
+		DisableMultilevel:  cfg.DisableMultilevel,
+	}
+}
+
+// ValidateResumeConfig rejects a resume whose current configuration would
+// place a different problem than the checkpointed run: every recorded
+// result-shaping knob must match. Checkpoints without a config section
+// (schema v1) pass vacuously. Workers deliberately does not participate —
+// legalization, detailed placement and routing are byte-identical for
+// every worker count, so resuming on different parallelism is safe.
+func ValidateResumeConfig(cfg Config, st *snap.State) error {
+	if st == nil || st.Config == nil {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	rc, now := st.Config, recordConfig(cfg)
+	var bad []string
+	add := func(knob string, have, want any) {
+		bad = append(bad, fmt.Sprintf("%s is %v, checkpoint ran with %v", knob, have, want))
+	}
+	if now.Model != rc.Model {
+		add("model", now.Model, rc.Model)
+	}
+	if now.TargetDensity != rc.TargetDensity {
+		add("target density", now.TargetDensity, rc.TargetDensity)
+	}
+	if now.MaxLambdaRounds != rc.MaxLambdaRounds {
+		add("max lambda rounds", now.MaxLambdaRounds, rc.MaxLambdaRounds)
+	}
+	if now.RoutabilityIters != rc.RoutabilityIters {
+		add("routability iters", now.RoutabilityIters, rc.RoutabilityIters)
+	}
+	if now.CongestionSource != rc.CongestionSource {
+		add("congestion source", now.CongestionSource, rc.CongestionSource)
+	}
+	if now.RouteLastRounds != rc.RouteLastRounds {
+		add("route last rounds", now.RouteLastRounds, rc.RouteLastRounds)
+	}
+	if now.DisableRoutability != rc.DisableRoutability {
+		add("disable routability", now.DisableRoutability, rc.DisableRoutability)
+	}
+	if now.DisableFences != rc.DisableFences {
+		add("disable fences", now.DisableFences, rc.DisableFences)
+	}
+	if now.DisableDP != rc.DisableDP {
+		add("disable dp", now.DisableDP, rc.DisableDP)
+	}
+	if now.DisableMultilevel != rc.DisableMultilevel {
+		add("disable multilevel", now.DisableMultilevel, rc.DisableMultilevel)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("core: resume config mismatch: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
 // emit snapshots the design's current cell state and invokes the hook.
 func (ck *checkpointer) emit(stage snap.Stage, level, round, routIter int, lambda, mu float64, grid *route.Grid) {
 	d := ck.d
@@ -50,6 +124,7 @@ func (ck *checkpointer) emit(stage snap.Stage, level, round, routIter int, lambd
 	st := &snap.State{
 		Design:      d.Name,
 		Fingerprint: ck.fp,
+		Config:      recordConfig(ck.cfg),
 		Stage:       stage,
 		Level:       level,
 		Round:       round,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -203,5 +204,50 @@ func TestPlaceFromCheckpointValidation(t *testing.T) {
 	st.Stage = 99
 	if _, err := pl.PlaceFromCheckpoint(ctx, d, st); err == nil {
 		t.Error("unknown stage accepted")
+	}
+
+	// Config mismatch: the checkpoint ran with a different congestion
+	// source than the resuming placer.
+	st.Stage = snap.StageGP
+	st.Config = recordConfig(resumeCfg().withDefaults())
+	st.Config.CongestionSource = "estimate"
+	if _, err := pl.PlaceFromCheckpoint(ctx, d, st); err == nil ||
+		!strings.Contains(err.Error(), "congestion source") {
+		t.Errorf("config mismatch err = %v, want congestion-source complaint", err)
+	}
+}
+
+// ValidateResumeConfig must pass identical configs (and config-less v1
+// checkpoints) and name every mismatched knob, while ignoring the worker
+// count — results are byte-identical across worker counts by contract.
+func TestValidateResumeConfig(t *testing.T) {
+	base := Config{Workers: 2, CongestionSource: "estimate", RouteLastRounds: 2}
+	st := &snap.State{Config: recordConfig(base.withDefaults())}
+
+	if err := ValidateResumeConfig(base, st); err != nil {
+		t.Errorf("identical config rejected: %v", err)
+	}
+	if err := ValidateResumeConfig(base, &snap.State{}); err != nil {
+		t.Errorf("config-less checkpoint rejected: %v", err)
+	}
+
+	workers := base
+	workers.Workers = 8
+	if err := ValidateResumeConfig(workers, st); err != nil {
+		t.Errorf("worker-count change rejected: %v", err)
+	}
+
+	changed := base
+	changed.CongestionSource = "route"
+	changed.RouteLastRounds = 0 // defaults to 1, recorded run used 2
+	changed.DisableDP = true
+	err := ValidateResumeConfig(changed, st)
+	if err == nil {
+		t.Fatal("mismatched config accepted")
+	}
+	for _, want := range []string{"congestion source", "route last rounds", "disable dp"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error %q does not name %q", err, want)
+		}
 	}
 }

@@ -43,6 +43,12 @@ func (pl *Placer) PlaceFromCheckpoint(ctx context.Context, d *db.Design, st *sna
 	if st.Stage != snap.StageGP && st.Stage != snap.StageRoutability {
 		return res, fmt.Errorf("core: checkpoint stage %v is not resumable", st.Stage)
 	}
+	// A checkpoint stamped with its run configuration only resumes under a
+	// matching one — continuing with, say, a different congestion source
+	// would finish a run neither configuration describes.
+	if err := ValidateResumeConfig(cfg, st); err != nil {
+		return res, err
+	}
 	if st.NumCells() != len(d.Cells) {
 		return res, fmt.Errorf("core: checkpoint holds %d cells, design %q has %d",
 			st.NumCells(), d.Name, len(d.Cells))

@@ -1,0 +1,102 @@
+package eco
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// expandWindows turns the dirty seed rectangles into die-clipped repair
+// windows. Each seed grows by margin on every side; windows merge (to a
+// fixpoint) only when their bounding box covers exactly their union —
+// containment, aligned abutment, aligned overlap — so merging never
+// swallows clean area. Diagonal or offset windows stay separate and may
+// overlap each other; membership (inAnyWindow) is union semantics, which
+// is all the freeze logic needs. Greedily merging any two touching
+// windows into their bbox is tempting but wrong: scattered seeds chain
+// into one die-sized window and the freeze degenerates to a full
+// re-place. The result is deterministic and ordered by (y, x).
+func expandWindows(seeds []geom.Rect, margin float64, die geom.Rect) []geom.Rect {
+	if len(seeds) == 0 {
+		return nil
+	}
+	wins := make([]geom.Rect, 0, len(seeds))
+	for _, s := range seeds {
+		// Intersect, not ClampRect: a window at the die edge must be
+		// clipped in place, never slid inward over clean cells.
+		w := s.Expand(margin).Intersect(die)
+		if w.Empty() {
+			continue
+		}
+		wins = append(wins, w)
+	}
+	sortRects(wins)
+	for {
+		merged := mergeOnce(wins)
+		if len(merged) == len(wins) {
+			return merged
+		}
+		wins = merged
+	}
+}
+
+// mergeOnce folds every rectangle into the first earlier rectangle it
+// merges losslessly with (bbox == exact union).
+func mergeOnce(rects []geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for _, r := range rects {
+		mergedIn := false
+		for i := range out {
+			if touches(out[i], r) && lossless(out[i], r) {
+				out[i] = out[i].Union(r)
+				mergedIn = true
+				break
+			}
+		}
+		if !mergedIn {
+			out = append(out, r)
+		}
+	}
+	sortRects(out)
+	return out
+}
+
+// lossless reports whether the bounding box of a and b covers exactly
+// their union — no clean area gets annexed by merging them.
+func lossless(a, b geom.Rect) bool {
+	u := a.Union(b)
+	return u.Area() <= a.Area()+b.Area()-a.OverlapArea(b)+1e-9
+}
+
+// touches reports overlap including shared edges: windows that abut must
+// merge, or the legalizer would pack their shared boundary twice.
+func touches(a, b geom.Rect) bool {
+	return a.Lo.X <= b.Hi.X && b.Lo.X <= a.Hi.X &&
+		a.Lo.Y <= b.Hi.Y && b.Lo.Y <= a.Hi.Y
+}
+
+func sortRects(rects []geom.Rect) {
+	sort.Slice(rects, func(i, j int) bool {
+		if rects[i].Lo.Y != rects[j].Lo.Y {
+			return rects[i].Lo.Y < rects[j].Lo.Y
+		}
+		if rects[i].Lo.X != rects[j].Lo.X {
+			return rects[i].Lo.X < rects[j].Lo.X
+		}
+		if rects[i].Hi.Y != rects[j].Hi.Y {
+			return rects[i].Hi.Y < rects[j].Hi.Y
+		}
+		return rects[i].Hi.X < rects[j].Hi.X
+	})
+}
+
+// inAnyWindow reports whether r intersects (with positive area or edge
+// contact) any window. Windows are few, so a linear scan beats an index.
+func inAnyWindow(r geom.Rect, wins []geom.Rect) bool {
+	for _, w := range wins {
+		if touches(w, r) {
+			return true
+		}
+	}
+	return false
+}

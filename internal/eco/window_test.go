@@ -1,0 +1,87 @@
+package eco
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestExpandWindowsMergesTouching(t *testing.T) {
+	die := geom.NewRect(0, 0, 100, 100)
+	seeds := []geom.Rect{
+		geom.NewRect(10, 10, 12, 12),
+		geom.NewRect(16, 10, 18, 12), // expansion overlaps the first
+		geom.NewRect(80, 80, 82, 82), // far away, stays separate
+	}
+	wins := expandWindows(seeds, 4, die)
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows %v, want 2", len(wins), wins)
+	}
+	if want := geom.NewRect(6, 6, 22, 16); wins[0] != want {
+		t.Errorf("merged window = %v, want %v", wins[0], want)
+	}
+	if want := geom.NewRect(76, 76, 86, 86); wins[1] != want {
+		t.Errorf("isolated window = %v, want %v", wins[1], want)
+	}
+}
+
+func TestExpandWindowsClipsToDie(t *testing.T) {
+	die := geom.NewRect(0, 0, 50, 50)
+	wins := expandWindows([]geom.Rect{geom.NewRect(0, 0, 2, 2)}, 10, die)
+	if len(wins) != 1 {
+		t.Fatalf("wins = %v", wins)
+	}
+	if !die.ContainsRect(wins[0]) {
+		t.Fatalf("window %v escapes the die %v", wins[0], die)
+	}
+	if want := geom.NewRect(0, 0, 12, 12); wins[0] != want {
+		t.Errorf("window = %v, want %v", wins[0], want)
+	}
+}
+
+// Input order must not matter: the merged set is sorted and identical for
+// any seed permutation.
+func TestExpandWindowsDeterministic(t *testing.T) {
+	die := geom.NewRect(0, 0, 200, 200)
+	seeds := []geom.Rect{
+		geom.NewRect(5, 5, 7, 7),
+		geom.NewRect(100, 100, 104, 104),
+		geom.NewRect(11, 5, 13, 7),
+		geom.NewRect(108, 104, 110, 110),
+		geom.NewRect(50, 150, 52, 152),
+	}
+	want := expandWindows(seeds, 3, die)
+	rev := make([]geom.Rect, len(seeds))
+	for i, s := range seeds {
+		rev[len(seeds)-1-i] = s
+	}
+	if got := expandWindows(rev, 3, die); !reflect.DeepEqual(got, want) {
+		t.Fatalf("window set depends on seed order:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// Point seeds (placement-only removals) still grow real windows.
+func TestExpandWindowsPointSeed(t *testing.T) {
+	die := geom.NewRect(0, 0, 100, 100)
+	point := geom.Rect{Lo: geom.Point{X: 40, Y: 40}, Hi: geom.Point{X: 40, Y: 40}}
+	wins := expandWindows([]geom.Rect{point}, 5, die)
+	if len(wins) != 1 || wins[0].Area() == 0 {
+		t.Fatalf("point seed produced %v", wins)
+	}
+}
+
+// A chain a–b–c where only consecutive pairs touch must collapse into one
+// window (transitive merge needs the fixpoint loop).
+func TestExpandWindowsTransitiveMerge(t *testing.T) {
+	die := geom.NewRect(0, 0, 300, 100)
+	seeds := []geom.Rect{
+		geom.NewRect(200, 10, 210, 20), // deliberately out of order
+		geom.NewRect(100, 10, 110, 20),
+		geom.NewRect(150, 10, 160, 20),
+	}
+	wins := expandWindows(seeds, 25, die)
+	if len(wins) != 1 {
+		t.Fatalf("chain did not merge: %v", wins)
+	}
+}

@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -419,6 +421,49 @@ func TestFleetDedupAcrossSubmissions(t *testing.T) {
 	}
 	if string(j2.ResultPl()) != "pl-result\n" {
 		t.Errorf("cached ResultPl = %q", j2.ResultPl())
+	}
+}
+
+// TestFleetDeltaJobPassThrough pins the coordinator's delta-job
+// contract: base_fingerprint travels through Submit to the worker
+// unchanged, the worker resolves it against its own artifact store, and
+// an unchanged netlist reproduces the base placement byte-for-byte with
+// the eco annotation on the fetched report. Real runner — the eco-base
+// store entry is published by the actual placement body.
+func TestFleetDeltaJobPassThrough(t *testing.T) {
+	c := mustCoordinator(t, testOptions())
+	startWorker(t, c, serve.Options{StateDir: t.TempDir()})
+
+	base, err := c.Submit(tinySpec())
+	if err != nil {
+		t.Fatalf("Submit base: %v", err)
+	}
+	waitState(t, base, serve.StateDone)
+
+	fp := gen.MustGenerate(*tinySpec().Generate).Fingerprint()
+	spec := tinySpec()
+	spec.BaseFingerprint = hex.EncodeToString(fp[:])
+	delta, err := c.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit delta: %v", err)
+	}
+	waitState(t, delta, serve.StateDone)
+
+	if !bytes.Equal(delta.ResultPl(), base.ResultPl()) || len(base.ResultPl()) == 0 {
+		t.Error("empty-diff delta .pl differs from the base placement")
+	}
+	var rep struct {
+		Eco *obs.EcoSummary `json:"eco"`
+	}
+	if err := json.Unmarshal(delta.Report(), &rep); err != nil {
+		t.Fatalf("delta report: %v", err)
+	}
+	if rep.Eco == nil {
+		t.Fatal("delta report carries no eco block")
+	}
+	if rep.Eco.BaseFingerprint != spec.BaseFingerprint || rep.Eco.ReuseRatio != 1 ||
+		rep.Eco.ChangedCells != 0 || rep.Eco.FellBack {
+		t.Errorf("eco block = %+v, want full reuse of %s", rep.Eco, spec.BaseFingerprint)
 	}
 }
 

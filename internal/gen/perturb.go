@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/db"
+	"repro/internal/geom"
+)
+
+// Perturbation describes a deterministic ECO-style netlist edit: remove a
+// fraction of the movable standard cells, add a fraction of new ones wired
+// into existing nets, and move a fraction of the surviving pins onto
+// different nets. Fractions are relative to the movable standard-cell
+// count (removal, addition) or their pin count (rewiring); the same seed
+// always produces the same edited design.
+type Perturbation struct {
+	Seed       int64
+	RemoveFrac float64
+	AddFrac    float64
+	RewireFrac float64
+}
+
+// Perturb returns an edited deep copy of d. The input design is never
+// modified. Removed cells disappear from the cell, pin, module and
+// routing tables (their nets keep the surviving pins, so nets can drop to
+// degree 1 or 0 — exactly the degenerate shapes an incremental-placement
+// differ must tolerate). Added cells are named eco_add_<k>, sized like a
+// random surviving cell, wired to two random existing nets, and dropped
+// at a random in-die position. Rewired pins move from their net to a
+// different random net with their offsets intact.
+func Perturb(d *db.Design, p Perturbation) *db.Design {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := d.Clone()
+	out.InvalidateNameIndex()
+
+	var movable []int
+	for i := range out.Cells {
+		c := &out.Cells[i]
+		if c.Movable() && c.Kind == db.StdCell {
+			movable = append(movable, i)
+		}
+	}
+
+	nRemove := int(p.RemoveFrac*float64(len(movable)) + 0.5)
+	if nRemove > len(movable) {
+		nRemove = len(movable)
+	}
+	if nRemove > 0 {
+		perm := rng.Perm(len(movable))
+		removed := make(map[int]bool, nRemove)
+		for _, pi := range perm[:nRemove] {
+			removed[movable[pi]] = true
+		}
+		removeCells(out, removed)
+		movable = movable[:0]
+		for i := range out.Cells {
+			c := &out.Cells[i]
+			if c.Movable() && c.Kind == db.StdCell {
+				movable = append(movable, i)
+			}
+		}
+	}
+
+	nAdd := int(p.AddFrac*float64(len(movable))+0.5) * boolInt(len(movable) > 0)
+	for k := 0; k < nAdd; k++ {
+		tmpl := &out.Cells[movable[rng.Intn(len(movable))]]
+		ci := len(out.Cells)
+		out.Cells = append(out.Cells, db.Cell{
+			Name:   fmt.Sprintf("eco_add_%d", k),
+			Kind:   db.StdCell,
+			BaseW:  tmpl.BaseW,
+			BaseH:  tmpl.BaseH,
+			Region: db.NoRegion,
+			Module: db.NoModule,
+		})
+		c := &out.Cells[ci]
+		c.Pos = geom.Point{
+			X: out.Die.Lo.X + rng.Float64()*(out.Die.W()-c.BaseW),
+			Y: out.Die.Lo.Y + rng.Float64()*(out.Die.H()-c.BaseH),
+		}
+		// Two pins into random existing non-empty nets.
+		for pk := 0; pk < 2 && len(out.Nets) > 0; pk++ {
+			ni := rng.Intn(len(out.Nets))
+			pi := len(out.Pins)
+			out.Pins = append(out.Pins, db.Pin{
+				Cell:   ci,
+				Net:    ni,
+				Offset: geom.Point{X: c.BaseW / 2, Y: c.BaseH / 2},
+			})
+			c.Pins = append(c.Pins, pi)
+			out.Nets[ni].Pins = append(out.Nets[ni].Pins, pi)
+		}
+	}
+
+	// Rewire: move surviving movable-std-cell pins onto different nets.
+	if p.RewireFrac > 0 && len(out.Nets) > 1 {
+		var pins []int
+		for _, ci := range movable {
+			pins = append(pins, out.Cells[ci].Pins...)
+		}
+		nRewire := int(p.RewireFrac*float64(len(pins)) + 0.5)
+		if nRewire > len(pins) {
+			nRewire = len(pins)
+		}
+		perm := rng.Perm(len(pins))
+		for _, idx := range perm[:nRewire] {
+			pi := pins[idx]
+			pin := &out.Pins[pi]
+			to := rng.Intn(len(out.Nets) - 1)
+			if to >= pin.Net {
+				to++
+			}
+			detachPin(&out.Nets[pin.Net], pi)
+			out.Nets[to].Pins = append(out.Nets[to].Pins, pi)
+			pin.Net = to
+		}
+	}
+
+	out.InvalidateNameIndex()
+	return out
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// detachPin removes pin index pi from the net's pin list, preserving
+// order.
+func detachPin(net *db.Net, pi int) {
+	for k, q := range net.Pins {
+		if q == pi {
+			net.Pins = append(net.Pins[:k], net.Pins[k+1:]...)
+			return
+		}
+	}
+}
+
+// removeCells rebuilds the design without the given cells, remapping every
+// index table (pins, nets, modules, routing blockages). Nets keep their
+// surviving pins even when that leaves them with one or zero.
+func removeCells(d *db.Design, removed map[int]bool) {
+	cellMap := make([]int, len(d.Cells))
+	newCells := make([]db.Cell, 0, len(d.Cells)-len(removed))
+	for i := range d.Cells {
+		if removed[i] {
+			cellMap[i] = -1
+			continue
+		}
+		cellMap[i] = len(newCells)
+		newCells = append(newCells, d.Cells[i])
+	}
+
+	pinMap := make([]int, len(d.Pins))
+	newPins := make([]db.Pin, 0, len(d.Pins))
+	for i := range d.Pins {
+		ci := cellMap[d.Pins[i].Cell]
+		if ci < 0 {
+			pinMap[i] = -1
+			continue
+		}
+		pinMap[i] = len(newPins)
+		pin := d.Pins[i]
+		pin.Cell = ci
+		newPins = append(newPins, pin)
+	}
+
+	for n := range d.Nets {
+		net := &d.Nets[n]
+		kept := net.Pins[:0]
+		for _, pi := range net.Pins {
+			if pinMap[pi] >= 0 {
+				kept = append(kept, pinMap[pi])
+			}
+		}
+		net.Pins = kept
+	}
+	for i := range newCells {
+		c := &newCells[i]
+		kept := make([]int, 0, len(c.Pins))
+		for _, pi := range c.Pins {
+			if pinMap[pi] >= 0 {
+				kept = append(kept, pinMap[pi])
+			}
+		}
+		c.Pins = kept
+	}
+	for m := range d.Modules {
+		mod := &d.Modules[m]
+		kept := mod.Cells[:0]
+		for _, ci := range mod.Cells {
+			if cellMap[ci] >= 0 {
+				kept = append(kept, cellMap[ci])
+			}
+		}
+		mod.Cells = kept
+	}
+	if d.Route != nil {
+		r := d.Route
+		keptNi := r.NiTerminals[:0]
+		for _, ci := range r.NiTerminals {
+			if cellMap[ci] >= 0 {
+				keptNi = append(keptNi, cellMap[ci])
+			}
+		}
+		r.NiTerminals = keptNi
+		keptBl := r.Blockages[:0]
+		for _, bl := range r.Blockages {
+			if cellMap[bl.Cell] >= 0 {
+				bl.Cell = cellMap[bl.Cell]
+				keptBl = append(keptBl, bl)
+			}
+		}
+		r.Blockages = keptBl
+	}
+	d.Cells = newCells
+	d.Pins = newPins
+	d.InvalidateNameIndex()
+}

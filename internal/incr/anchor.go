@@ -90,9 +90,14 @@ func (c *BBoxCache) NewAnchors() *Anchors {
 		maxRed: make([]float64, len(d.Cells)),
 	}
 	// A net matters only when it has ≥ 2 pins on ≥ 2 distinct cells.
+	// Degree-0 and degree-1 nets never span — ECO deltas produce them
+	// when a removed cell leaves a net its last pins.
 	spans := make([]bool, len(d.Nets))
 	for ni := range d.Nets {
 		pins := d.Nets[ni].Pins
+		if len(pins) < 2 {
+			continue
+		}
 		for _, pi := range pins[1:] {
 			if d.Pins[pi].Cell != d.Pins[pins[0]].Cell {
 				spans[ni] = true

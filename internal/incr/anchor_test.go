@@ -236,3 +236,31 @@ func TestAnchorScoringNoAllocs(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestAnchorsDegenerateNets pins the ECO-delta shapes: nets that dropped
+// to one or zero pins after a cell removal must be excluded from the
+// anchor topology, not crash its construction.
+func TestAnchorsDegenerateNets(t *testing.T) {
+	d := testDesign(t, 47)
+	// Empty one net entirely and thin another to a single pin, the way
+	// removeCells leaves them (pins detached, nets kept).
+	if len(d.Nets) < 2 {
+		t.Fatal("test design has too few nets")
+	}
+	d.Nets[0].Pins = nil
+	if len(d.Nets[1].Pins) > 1 {
+		d.Nets[1].Pins = d.Nets[1].Pins[:1]
+	}
+	c := New(d)
+	a := c.NewAnchors()
+	for ci := range d.Cells {
+		a.BuildCell(ci)
+	}
+	for ci := range d.Cells {
+		for _, ni := range a.nets[ci] {
+			if len(d.Nets[ni].Pins) < 2 {
+				t.Fatalf("cell %d anchors degenerate net %d (%d pins)", ci, ni, len(d.Nets[ni].Pins))
+			}
+		}
+	}
+}

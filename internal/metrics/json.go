@@ -22,6 +22,7 @@ type rowJSON struct {
 	Overflow  float64 `json:"overflow"`
 	Overlaps  int     `json:"overlaps"`
 	FenceViol int     `json:"fence_violations"`
+	OutOfDie  int     `json:"out_of_die"`
 
 	GPSeconds    float64 `json:"gp_seconds"`
 	TotalSeconds float64 `json:"total_seconds"`
@@ -40,6 +41,7 @@ func (r Row) MarshalJSON() ([]byte, error) {
 		Overflow:     r.Overflow,
 		Overlaps:     r.Overlaps,
 		FenceViol:    r.FenceViol,
+		OutOfDie:     r.OutOfDie,
 		GPSeconds:    r.GPTime.Seconds(),
 		TotalSeconds: r.TotalTime.Seconds(),
 	})
@@ -61,6 +63,7 @@ func (r *Row) UnmarshalJSON(data []byte) error {
 		Overflow:   w.Overflow,
 		Overlaps:   w.Overlaps,
 		FenceViol:  w.FenceViol,
+		OutOfDie:   w.OutOfDie,
 		GPTime:     time.Duration(w.GPSeconds * float64(time.Second)),
 		TotalTime:  time.Duration(w.TotalSeconds * float64(time.Second)),
 	}

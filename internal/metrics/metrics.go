@@ -26,6 +26,7 @@ type Row struct {
 	Overflow  float64
 	Overlaps  int
 	FenceViol int
+	OutOfDie  int
 
 	GPTime    time.Duration
 	TotalTime time.Duration
@@ -33,15 +34,15 @@ type Row struct {
 
 // Header returns the column header matching Row.String.
 func Header() string {
-	return fmt.Sprintf("%-10s %-14s %12s %12s %7s %9s %5s %5s %8s %8s",
-		"design", "variant", "HPWL", "sHPWL", "RC", "overflow", "ovlp", "fence", "gp(s)", "total(s)")
+	return fmt.Sprintf("%-10s %-14s %12s %12s %7s %9s %5s %5s %5s %8s %8s",
+		"design", "variant", "HPWL", "sHPWL", "RC", "overflow", "ovlp", "fence", "oob", "gp(s)", "total(s)")
 }
 
 // String renders the row under Header's columns.
 func (r Row) String() string {
-	return fmt.Sprintf("%-10s %-14s %12.4g %12.4g %7.1f %9.4f %5d %5d %8.2f %8.2f",
+	return fmt.Sprintf("%-10s %-14s %12.4g %12.4g %7.1f %9.4f %5d %5d %5d %8.2f %8.2f",
 		r.Design, r.Variant, r.HPWL, r.ScaledHPWL, r.RC, r.Overflow,
-		r.Overlaps, r.FenceViol, r.GPTime.Seconds(), r.TotalTime.Seconds())
+		r.Overlaps, r.FenceViol, r.OutOfDie, r.GPTime.Seconds(), r.TotalTime.Seconds())
 }
 
 // Table is an ordered collection of rows with group-aware rendering.

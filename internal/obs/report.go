@@ -53,6 +53,28 @@ type Report struct {
 	// fleet coordinator sets it on reports fetched from workers; it is
 	// absent on single-node runs.
 	Fleet *FleetAttribution `json:"fleet,omitempty"`
+
+	// Eco describes the incremental (ECO) path when the run repaired a
+	// base placement instead of placing from scratch; absent otherwise.
+	Eco *EcoSummary `json:"eco,omitempty"`
+}
+
+// EcoSummary annotates a report produced by the incremental (ECO) path.
+type EcoSummary struct {
+	// BaseJob or BaseFingerprint identifies the placement that was reused
+	// (whichever the caller provided).
+	BaseJob         string `json:"base_job,omitempty"`
+	BaseFingerprint string `json:"base_fingerprint,omitempty"`
+	// ChangedCells counts re-placed cells (changed + added), Windows the
+	// repair rectangles, and ReuseRatio the fraction of cells whose base
+	// position transferred untouched.
+	ChangedCells int     `json:"changed_cells"`
+	Windows      int     `json:"windows"`
+	ReuseRatio   float64 `json:"reuse_ratio"`
+	// FellBack marks a delta that was out of windowed repair's reach
+	// (macro delta or dirty fraction too large): the run completed as a
+	// full from-scratch place.
+	FellBack bool `json:"fell_back,omitempty"`
 }
 
 // FleetAttribution records which fleet worker produced a run and on which

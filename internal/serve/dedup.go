@@ -30,12 +30,24 @@ func DedupKey(d *db.Design, spec Spec, defaultWorkers int) (string, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = defaultWorkers
 	}
+	// Delta (ECO) jobs key separately from full placements of the same
+	// design: their result depends on the referenced base, and a windowed
+	// repair must never be served as the cached answer to a from-scratch
+	// submission (or vice versa).
+	base := ""
+	switch {
+	case spec.BaseJob != "":
+		base = "job:" + spec.BaseJob
+	case spec.BaseFingerprint != "":
+		base = "fp:" + spec.BaseFingerprint
+	}
 	blob, err := json.Marshal(struct {
 		Design   string      `json:"design"`
 		Config   core.Config `json:"config"`
 		Evaluate bool        `json:"evaluate"`
 		Heatmaps bool        `json:"heatmaps"`
-	}{d.Name, cfg, spec.Evaluate, spec.Heatmaps})
+		Base     string      `json:"base,omitempty"`
+	}{d.Name, cfg, spec.Evaluate, spec.Heatmaps, base})
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// A delta job referencing a done base job with an identical design must
+// reproduce the base placement exactly (empty diff → full reuse) and
+// surface the eco annotation on status and report.
+func TestDeltaJobAgainstBaseJob(t *testing.T) {
+	m, ts := newTestServer(t, Options{Workers: 1})
+
+	spec := Spec{Generate: tinyGen(), Config: core.Config{Workers: 1, DisableDP: true}}
+	baseJob, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, baseJob, StateDone, 120*time.Second)
+	if q := baseJob.Status().Quality; q == nil {
+		t.Error("done base job status has no quality block")
+	} else if q.Overlaps != 0 || q.FenceViolations != 0 || q.OutOfDie != 0 {
+		t.Errorf("base job not legal: %+v", q)
+	}
+
+	delta := spec
+	delta.BaseJob = baseJob.ID
+	resp, sub := postJob(t, ts, delta)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("delta submit status = %d", resp.StatusCode)
+	}
+	dj, err := m.Get(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, dj, StateDone, 120*time.Second)
+
+	st := dj.Status()
+	if st.Eco == nil {
+		t.Fatal("delta job status has no eco block")
+	}
+	if st.Eco.BaseJob != baseJob.ID || st.Eco.ReuseRatio != 1 || st.Eco.ChangedCells != 0 || st.Eco.FellBack {
+		t.Errorf("eco block = %+v, want full reuse of %s", st.Eco, baseJob.ID)
+	}
+	if st.Quality == nil || st.Quality.Overlaps != 0 || st.Quality.OutOfDie != 0 {
+		t.Errorf("delta job quality = %+v", st.Quality)
+	}
+	if !bytes.Equal(dj.ResultPl(), baseJob.ResultPl()) {
+		t.Error("empty-diff delta job .pl differs from the base job's")
+	}
+	var rep struct {
+		Eco *struct {
+			ReuseRatio float64 `json:"reuse_ratio"`
+		} `json:"eco"`
+	}
+	if err := json.Unmarshal(dj.Report(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Eco == nil || rep.Eco.ReuseRatio != 1 {
+		t.Errorf("report eco block = %+v", rep.Eco)
+	}
+}
+
+// A delta job referencing a cached base by design fingerprint resolves
+// through the artifact store's eco-base index.
+func TestDeltaJobAgainstBaseFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := newTestServer(t, Options{Workers: 1, StateDir: dir})
+
+	spec := persistSpec()
+	baseJob, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, baseJob, StateDone, 120*time.Second)
+
+	d, err := gen.Generate(*tinyGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := d.Fingerprint()
+
+	delta := spec
+	delta.BaseFingerprint = hex.EncodeToString(fp[:])
+	dj, err := m.Submit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, dj, StateDone, 120*time.Second)
+	st := dj.Status()
+	if st.Eco == nil || st.Eco.BaseFingerprint != delta.BaseFingerprint {
+		t.Fatalf("eco block = %+v, want base fingerprint %s", st.Eco, delta.BaseFingerprint)
+	}
+	if st.Eco.ReuseRatio != 1 || st.Eco.FellBack {
+		t.Errorf("identical design should fully reuse the cached base: %+v", st.Eco)
+	}
+	if !bytes.Equal(dj.ResultPl(), baseJob.ResultPl()) {
+		t.Error("delta .pl differs from the cached base placement")
+	}
+}
+
+// A delta that is out of windowed repair's reach must fall back to the
+// full flow and say so, not fail.
+func TestDeltaJobFallsBackToFullPlace(t *testing.T) {
+	m, _ := newTestServer(t, Options{Workers: 1})
+
+	spec := Spec{Generate: tinyGen(), Config: core.Config{Workers: 1, DisableDP: true}}
+	baseJob, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, baseJob, StateDone, 120*time.Second)
+
+	// A different generator seed is a structurally different netlist:
+	// nearly every cell diffs changed, forcing the full-place fallback.
+	other := *tinyGen()
+	other.Seed = 999
+	delta := Spec{Generate: &other, Config: core.Config{Workers: 1, DisableDP: true}, BaseJob: baseJob.ID}
+	dj, err := m.Submit(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, dj, StateDone, 120*time.Second)
+	st := dj.Status()
+	if st.Eco == nil || !st.Eco.FellBack {
+		t.Fatalf("eco block = %+v, want fell_back", st.Eco)
+	}
+	if st.Quality == nil || st.Quality.Overlaps != 0 || st.Quality.OutOfDie != 0 {
+		t.Errorf("fallback quality = %+v", st.Quality)
+	}
+}
+
+// Bad base references are client errors, rejected at submission.
+func TestDeltaJobValidation(t *testing.T) {
+	m, _ := newTestServer(t, Options{Workers: 1}) // no StateDir: no store
+
+	spec := Spec{Generate: tinyGen(), Config: core.Config{Workers: 1, DisableDP: true}}
+	for name, bad := range map[string]func(*Spec){
+		"both base_job and base_fingerprint": func(s *Spec) {
+			s.BaseJob = "job-000001"
+			s.BaseFingerprint = "00"
+		},
+		"unknown base job": func(s *Spec) { s.BaseJob = "job-999999" },
+		"fingerprint without store": func(s *Spec) {
+			s.BaseFingerprint = "0000000000000000000000000000000000000000000000000000000000000000"
+		},
+	} {
+		s := spec
+		bad(&s)
+		if _, err := m.Submit(s); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("%s: Submit err = %v, want ErrBadSpec", name, err)
+		}
+	}
+
+	// A queued (not done) base job is rejected too.
+	base, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spec
+	s.BaseJob = base.ID
+	if base.State() == StateQueued || base.State() == StateRunning {
+		if _, err := m.Submit(s); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("non-done base job: Submit err = %v, want ErrBadSpec", err)
+		}
+	}
+	waitState(t, base, StateDone, 120*time.Second)
+}

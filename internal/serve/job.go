@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/eco"
 	"repro/internal/gen"
 	"repro/internal/obs"
 	"repro/internal/snap"
@@ -79,6 +80,18 @@ type Spec struct {
 	// it to hand a reassigned job's last journaled checkpoint to the new
 	// worker; it is rejected on the coordinator's own public API.
 	Checkpoint []byte `json:"checkpoint,omitempty"`
+
+	// BaseJob makes this a delta (ECO) job: the completed job's placement
+	// seeds this run, and only the changed neighborhoods are re-placed
+	// (out-of-reach deltas fall back to a full place — see the report's
+	// eco block). BaseFingerprint resolves the base from the artifact
+	// store's eco-base index instead (hex design fingerprint of the base
+	// input, as printed by `evaluate -fingerprint`); it requires a state
+	// directory and a completed run of that design on this server. At
+	// most one of the two may be set, and neither combines with
+	// Checkpoint.
+	BaseJob         string `json:"base_job,omitempty"`
+	BaseFingerprint string `json:"base_fingerprint,omitempty"`
 }
 
 // Job is one submitted placement run.
@@ -104,6 +117,15 @@ type Job struct {
 	congSource string
 	switchover int
 
+	// ecoBase is the resolved base placement of a delta (ECO) job, set at
+	// submission (nil for from-scratch jobs).
+	ecoBase *ecoBase
+	// inputFP is the submitted design's canonical fingerprint, captured
+	// before the run mutates positions — the eco-base index key a future
+	// delta job resolves this result by. Zero when no design was loaded.
+	inputFP [32]byte
+	hasFP   bool
+
 	mu        sync.Mutex
 	state     State
 	errMsg    string
@@ -117,6 +139,28 @@ type Job struct {
 	pl        []byte
 	heatmaps  []obs.Heatmap
 	trace     []byte
+	quality   *QualityStatus
+	eco       *obs.EcoSummary
+}
+
+// ecoBase is the resolved base placement a delta job repairs against.
+type ecoBase struct {
+	// jobID or fingerprint records how the base was referenced (for the
+	// report's eco block).
+	jobID       string
+	fingerprint string
+	// pl is the base placement; design is the base netlist when the base
+	// job is still live on this server (enables the full netlist diff —
+	// a bare placement can only diff by name presence).
+	pl     *eco.Placement
+	design *db.Design
+}
+
+// QualityStatus is the legality summary exposed on completed job status.
+type QualityStatus struct {
+	Overlaps        int `json:"overlaps"`
+	FenceViolations int `json:"fence_violations"`
+	OutOfDie        int `json:"out_of_die"`
 }
 
 // Status is the JSON view of a job's lifecycle.
@@ -143,6 +187,12 @@ type Status struct {
 	// "estimate" job switches back to the real router (absent for
 	// "route" jobs, which route every round).
 	SwitchoverRound int `json:"switchover_round,omitempty"`
+	// Quality summarizes the final placement's legality (completed jobs
+	// only): overlaps, fence violations, out-of-die cells.
+	Quality *QualityStatus `json:"quality,omitempty"`
+	// Eco describes the incremental path of a delta job (absent for
+	// from-scratch jobs).
+	Eco *obs.EcoSummary `json:"eco,omitempty"`
 }
 
 // State returns the job's current lifecycle state.
@@ -189,7 +239,18 @@ func (j *Job) Status() Status {
 		t := j.finished
 		st.Finished = &t
 	}
+	st.Quality = j.quality
+	st.Eco = j.eco
 	return st
+}
+
+// setOutcome records the final quality and (for delta jobs) the eco
+// summary surfaced on job status.
+func (j *Job) setOutcome(q *QualityStatus, e *obs.EcoSummary) {
+	j.mu.Lock()
+	j.quality = q
+	j.eco = e
+	j.mu.Unlock()
 }
 
 // Report returns the final JSON run report (nil until terminal; canceled

@@ -168,6 +168,10 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 			return nil, err
 		}
 	}
+	eb, err := m.resolveEcoBase(spec, resume)
+	if err != nil {
+		return nil, err
+	}
 
 	// Dedup: an identical placement problem (same canonical design, same
 	// effective config) whose result is already in the artifact store is
@@ -198,6 +202,11 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	j.submitted = time.Now()
 	j.design = d
 	j.resume = resume
+	j.ecoBase = eb
+	if d != nil {
+		j.inputFP = d.Fingerprint()
+		j.hasFP = true
+	}
 	j.storeKey = storeKey
 	j.congSource, j.switchover = m.effectiveConfig(spec).ResolvedCongestion()
 	if m.opt.StateDir != "" {

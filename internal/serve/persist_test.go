@@ -327,10 +327,13 @@ func TestDuplicateSubmissionServedFromStore(t *testing.T) {
 	}
 	waitState(t, j3, StateDone, 60*time.Second)
 
+	// Three entries: the two distinct (design, config) results plus the
+	// eco-base index entry both runs share (same input fingerprint, so
+	// the second run overwrote the first's slot).
 	_, body := getBody(t, ts.URL+"/metrics")
 	for _, want := range []string{
 		"placerd_store_hits_total 1",
-		"placerd_store_entries 2",
+		"placerd_store_entries 3",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics missing %q:\n%s", want, grepLines(string(body), "store"))

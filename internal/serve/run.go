@@ -69,7 +69,10 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 	t0 := time.Now()
 	var res core.Result
 	var placeErr error
-	if j.resume != nil {
+	var ecoSum *obs.EcoSummary
+	if j.ecoBase != nil {
+		res, ecoSum, placeErr = m.placeEco(ctx, j, placer, d, cfg, rec)
+	} else if j.resume != nil {
 		// Recovered job with a journaled checkpoint: resume mid-flow. A
 		// resume rejected up front (e.g. the reloaded design no longer
 		// matches the checkpoint) falls back to a fresh run rather than
@@ -90,7 +93,7 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 	row := metrics.Row{
 		Design: d.Name, Variant: "placerd",
 		HPWL: res.HPWLFinal, Overflow: res.Overflow,
-		Overlaps: res.Overlaps, FenceViol: res.FenceViolations,
+		Overlaps: res.Overlaps, FenceViol: res.FenceViolations, OutOfDie: res.OutOfDie,
 		GPTime: res.GPTime, TotalTime: total,
 	}
 	if placeErr == nil && j.Spec.Evaluate && d.Route != nil {
@@ -111,6 +114,16 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 	rep.Design = obs.DescribeDesign(d)
 	rep.Config = cfg
 	rep.Metrics = &row
+	rep.Eco = ecoSum
+	if placeErr == nil {
+		j.setOutcome(&QualityStatus{
+			Overlaps:        res.Overlaps,
+			FenceViolations: res.FenceViolations,
+			OutOfDie:        res.OutOfDie,
+		}, ecoSum)
+	} else {
+		j.setOutcome(nil, ecoSum)
+	}
 	rep.Canceled = placeErr != nil &&
 		(errors.Is(placeErr, context.Canceled) || errors.Is(placeErr, context.DeadlineExceeded))
 	m.stats.observeStages(rep)
@@ -157,6 +170,13 @@ func (m *Manager) placeJob(ctx context.Context, j *Job) error {
 		}
 		if err := m.store.Put(j.storeKey, arts); err != nil {
 			m.opt.Logger.Warn("artifact store put failed", "job", j.ID, "err", err)
+		}
+	}
+	// Index the placed result under the input fingerprint so a future
+	// delta job can reference it by base_fingerprint alone.
+	if placeErr == nil && m.store != nil && j.hasFP && len(pl) > 0 {
+		if err := m.store.Put(ecoBaseKey(j.inputFP), map[string][]byte{ResultFile: pl}); err != nil {
+			m.opt.Logger.Warn("eco-base store put failed", "job", j.ID, "err", err)
 		}
 	}
 	return placeErr

@@ -6,12 +6,15 @@
 // core.Placer.PlaceFromCheckpoint to resume the flow and still converge to
 // a legal placement.
 //
-// The format is pinned by a golden file (testdata/v1.snap): any change to
-// the byte layout must bump Version and add a new golden, never rewrite an
-// old one. Files are written atomically (temp file + fsync + rename) so a
-// crash mid-write leaves either the previous checkpoint or none, and every
-// file carries a CRC32 footer so torn or bit-rotted checkpoints are
-// detected on load instead of resuming from garbage.
+// The format is pinned by golden files (testdata/v1.snap,
+// testdata/v2.snap): any change to the byte layout must bump Version and
+// add a new golden, never rewrite an old one. Encoders always write the
+// current version; the decoder also reads every older version (v1 files
+// simply have no recorded run config). Files are written atomically (temp
+// file + fsync + rename) so a crash mid-write leaves either the previous
+// checkpoint or none, and every file carries a CRC32 footer so torn or
+// bit-rotted checkpoints are detected on load instead of resuming from
+// garbage.
 package snap
 
 import (
@@ -28,8 +31,9 @@ import (
 // Magic identifies a snap checkpoint file.
 const Magic = "RPSN"
 
-// Version is the current schema version. Decoders reject other versions.
-const Version = 1
+// Version is the current schema version. The encoder always writes it;
+// the decoder reads it and every older version.
+const Version = 2
 
 // ErrCorrupt is wrapped by decode errors caused by a damaged or truncated
 // checkpoint (bad magic, short buffer, length overrun, CRC mismatch).
@@ -67,6 +71,27 @@ type RouteState struct {
 	HDem, VDem, HHist, VHist []float64
 }
 
+// RunConfig records the result-shaping placer configuration the
+// checkpoint was taken under (schema v2+). A resume under a different
+// configuration would silently produce a placement neither run would
+// have — core.ValidateResumeConfig compares this against the resuming
+// config and rejects mismatches up front. Workers is recorded for
+// forensics but is not binding: legalization, detailed placement and
+// routing are byte-identical for every worker count.
+type RunConfig struct {
+	Model              string
+	TargetDensity      float64
+	Workers            int
+	MaxLambdaRounds    int
+	RoutabilityIters   int
+	CongestionSource   string
+	RouteLastRounds    int
+	DisableRoutability bool
+	DisableFences      bool
+	DisableDP          bool
+	DisableMultilevel  bool
+}
+
 // State is one checkpoint of the placement flow.
 type State struct {
 	// Design is the design name, an advisory label; Fingerprint is the
@@ -97,6 +122,10 @@ type State struct {
 	// Route carries the router demand grid for StageRoutability
 	// checkpoints; nil otherwise.
 	Route *RouteState
+
+	// Config records the run configuration the checkpoint was taken
+	// under; nil when absent (v1 files, or emitters that do not stamp it).
+	Config *RunConfig
 }
 
 // NumCells returns the cell count the checkpoint was taken over.
@@ -108,7 +137,13 @@ func (st *State) NumCells() int { return len(st.X) }
 //	u8 stage | u32 level | u32 round | u32 routIter | f64 λ | f64 μ |
 //	u32 n | n×f64 X | n×f64 Y | n×u8 orient | n×f64 inflate |
 //	u8 hasRoute [ u32 nx | u32 ny | 4×(u32 len | len×f64) ] |
+//	u8 hasConfig [ str model | f64 targetDensity | u32 workers |          (v2+)
+//	               u32 maxLambdaRounds | u32 routabilityIters |
+//	               str congestionSource | u32 routeLastRounds | u8 flags ] |
 //	u32 crc32-IEEE of everything above
+//
+// flags packs the disable bits: 1 routability, 2 fences, 4 dp,
+// 8 multilevel.
 func Encode(st *State) []byte {
 	n := len(st.X)
 	size := 4 + 4 + 4 + len(st.Design) + 32 + 1 + 4*3 + 8*2 + 4 + n*(8+8+1+8) + 1 + 4
@@ -142,6 +177,33 @@ func Encode(st *State) []byte {
 			e.f64s(s)
 		}
 	}
+	if st.Config == nil {
+		e.u8(0)
+	} else {
+		c := st.Config
+		e.u8(1)
+		e.str(c.Model)
+		e.f64(c.TargetDensity)
+		e.u32(uint32(c.Workers))
+		e.u32(uint32(c.MaxLambdaRounds))
+		e.u32(uint32(c.RoutabilityIters))
+		e.str(c.CongestionSource)
+		e.u32(uint32(c.RouteLastRounds))
+		var flags uint8
+		if c.DisableRoutability {
+			flags |= 1
+		}
+		if c.DisableFences {
+			flags |= 2
+		}
+		if c.DisableDP {
+			flags |= 4
+		}
+		if c.DisableMultilevel {
+			flags |= 8
+		}
+		e.u8(flags)
+	}
 	e.u32(crc32.ChecksumIEEE(e.buf))
 	return e.buf
 }
@@ -161,8 +223,9 @@ func Decode(data []byte) (*State, error) {
 		return nil, fmt.Errorf("%w: crc mismatch (have %08x, footer says %08x)", ErrCorrupt, got, want)
 	}
 	dec := decoder{buf: body[4:]}
-	if v := dec.u32(); v != Version {
-		return nil, fmt.Errorf("snap: checkpoint schema version %d (this build reads %d)", v, Version)
+	v := dec.u32()
+	if v < 1 || v > Version {
+		return nil, fmt.Errorf("snap: checkpoint schema version %d (this build reads 1..%d)", v, Version)
 	}
 	st := &State{}
 	st.Design = dec.str()
@@ -185,6 +248,22 @@ func Decode(data []byte) (*State, error) {
 		r.HHist = dec.f64s(int(dec.u32()))
 		r.VHist = dec.f64s(int(dec.u32()))
 		st.Route = r
+	}
+	if v >= 2 && dec.u8() == 1 {
+		c := &RunConfig{}
+		c.Model = dec.str()
+		c.TargetDensity = dec.f64()
+		c.Workers = int(dec.u32())
+		c.MaxLambdaRounds = int(dec.u32())
+		c.RoutabilityIters = int(dec.u32())
+		c.CongestionSource = dec.str()
+		c.RouteLastRounds = int(dec.u32())
+		flags := dec.u8()
+		c.DisableRoutability = flags&1 != 0
+		c.DisableFences = flags&2 != 0
+		c.DisableDP = flags&4 != 0
+		c.DisableMultilevel = flags&8 != 0
+		st.Config = c
 	}
 	if dec.err != nil {
 		return nil, dec.err

@@ -15,10 +15,27 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// goldenState is a fixed checkpoint exercising every field of the schema.
-// It must never change: together with testdata/v1.snap it pins the byte
-// layout of schema version 1.
+// goldenState is a fixed checkpoint exercising every field of the current
+// schema. It must never change: together with testdata/v2.snap it pins the
+// byte layout of schema version 2. Its Config-less restriction
+// (goldenStateV1) pins version 1 via testdata/v1.snap, which modern
+// decoders must keep reading forever.
 func goldenState() *State {
+	st := goldenStateV1()
+	st.Config = &RunConfig{
+		Model:            "wa",
+		TargetDensity:    0.85,
+		Workers:          4,
+		MaxLambdaRounds:  24,
+		RoutabilityIters: 3,
+		CongestionSource: "estimate",
+		RouteLastRounds:  1,
+		DisableFences:    true,
+	}
+	return st
+}
+
+func goldenStateV1() *State {
 	st := &State{
 		Design:   "golden",
 		Stage:    StageRoutability,
@@ -46,7 +63,7 @@ func goldenState() *State {
 }
 
 func TestGolden(t *testing.T) {
-	path := filepath.Join("testdata", "v1.snap")
+	path := filepath.Join("testdata", "v2.snap")
 	got := Encode(goldenState())
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -62,7 +79,7 @@ func TestGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("encoding of the golden state changed (%d bytes vs %d golden).\n"+
-			"The v1 schema is frozen: bump Version and add a new golden instead.",
+			"The v2 schema is frozen: bump Version and add a new golden instead.",
 			len(got), len(want))
 	}
 	st, err := Decode(want)
@@ -71,6 +88,26 @@ func TestGolden(t *testing.T) {
 	}
 	if !reflect.DeepEqual(st, goldenState()) {
 		t.Errorf("golden decode mismatch:\n got %+v\nwant %+v", st, goldenState())
+	}
+}
+
+// Checkpoints written by v1 builds must stay readable forever: the frozen
+// testdata/v1.snap (never regenerated) decodes to the golden state with no
+// recorded config.
+func TestGoldenV1Decode(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "v1.snap"))
+	if err != nil {
+		t.Fatalf("frozen v1 golden missing: %v", err)
+	}
+	st, err := Decode(want)
+	if err != nil {
+		t.Fatalf("decode v1 golden: %v", err)
+	}
+	if st.Config != nil {
+		t.Errorf("v1 checkpoint decoded with a config section: %+v", st.Config)
+	}
+	if !reflect.DeepEqual(st, goldenStateV1()) {
+		t.Errorf("v1 golden decode mismatch:\n got %+v\nwant %+v", st, goldenStateV1())
 	}
 }
 
